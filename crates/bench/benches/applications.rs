@@ -1,0 +1,50 @@
+//! Criterion benchmark: end-to-end application kernels — one QAOA expectation
+//! evaluation, one encoding construction, one resource estimate on the
+//! forecast device.
+
+use bench::{table1_coloring_problem, table1_sqed_circuit};
+use cavity_sim::device::Device;
+use criterion::{criterion_group, criterion_main, Criterion};
+use lgt::encoding::{encode, Encoding};
+use lgt::hamiltonian::{sqed_chain, SqedParams};
+use qopt::qaoa::{QaoaConfig, QuditQaoa};
+use qudit_circuit::noise::NoiseModel;
+use qudit_compiler::mapping::MappingStrategy;
+use qudit_compiler::resource::estimate_resources;
+
+fn bench_qaoa_expectation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("qaoa_expectation");
+    group.sample_size(10);
+    let problem = table1_coloring_problem(6, 5);
+    let qaoa = QuditQaoa::new(problem, QaoaConfig { layers: 1, ..Default::default() });
+    group.bench_function("noiseless_n6_3colors", |b| {
+        b.iter(|| qaoa.expected_value(&[0.6], &[0.4], &NoiseModel::noiseless()).expect("value"));
+    });
+    group.finish();
+}
+
+fn bench_encoding(c: &mut Criterion) {
+    let mut group = c.benchmark_group("encoding_construction");
+    let h = sqed_chain(&SqedParams { sites: 4, link_dim: 4, ..Default::default() }).expect("model");
+    group.bench_function("binary_qubit_encode_4sites_d4", |b| {
+        b.iter(|| encode(&h, Encoding::BinaryQubit).expect("encode"));
+    });
+    group.finish();
+}
+
+fn bench_resource_estimation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("resource_estimation");
+    group.sample_size(10);
+    let device = Device::forecast();
+    let circuit = table1_sqed_circuit(4, 1);
+    group.bench_function("noise_aware_mapping_sqed_9x2", |b| {
+        b.iter(|| {
+            estimate_resources("sqed", &circuit, &device, MappingStrategy::NoiseAware)
+                .expect("estimate")
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_qaoa_expectation, bench_encoding, bench_resource_estimation);
+criterion_main!(benches);

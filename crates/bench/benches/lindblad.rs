@@ -1,0 +1,26 @@
+//! Criterion benchmark: Lindblad integration cost per reservoir input sample
+//! vs Fock truncation (the hot path of the QRC experiments).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qrc::reservoir::{QuantumReservoir, ReservoirParams};
+
+fn bench_reservoir_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reservoir_input_sample");
+    group.sample_size(10);
+    for levels in [3usize, 5, 7] {
+        let params = ReservoirParams {
+            levels,
+            substeps: 10,
+            ..ReservoirParams::paper_reference()
+        };
+        let reservoir = QuantumReservoir::new(params).expect("reservoir");
+        let inputs = [0.3, -0.2, 0.1];
+        group.bench_with_input(BenchmarkId::from_parameter(levels), &reservoir, |b, r| {
+            b.iter(|| r.run(&inputs).expect("run"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_reservoir_step);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Criterion benchmark: simulator back-end scaling with qudit dimension and
+//! register size (the kernels behind every experiment).
+
+use bench::small_sqed_circuit;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qudit_circuit::noise::NoiseModel;
+use qudit_circuit::sim::{DensityMatrixSimulator, StatevectorSimulator, TrajectorySimulator};
+use qudit_circuit::Observable;
+
+fn bench_statevector(c: &mut Criterion) {
+    let mut group = c.benchmark_group("statevector_trotter_step");
+    group.sample_size(10);
+    for d in [3usize, 4, 6] {
+        let circuit = small_sqed_circuit(4, d, 1);
+        group.bench_with_input(BenchmarkId::from_parameter(d), &circuit, |b, circuit| {
+            let sim = StatevectorSimulator::new();
+            b.iter(|| sim.run(circuit).expect("run"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_density_matrix(c: &mut Criterion) {
+    let mut group = c.benchmark_group("density_matrix_trotter_step");
+    group.sample_size(10);
+    for d in [3usize, 4] {
+        let circuit = small_sqed_circuit(3, d, 1);
+        group.bench_with_input(BenchmarkId::from_parameter(d), &circuit, |b, circuit| {
+            let sim = DensityMatrixSimulator::new().with_noise(NoiseModel::depolarizing(1e-3, 1e-2));
+            b.iter(|| sim.run(circuit).expect("run"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_trajectories(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trajectory_vs_density");
+    group.sample_size(10);
+    let circuit = small_sqed_circuit(3, 3, 1);
+    let obs = Observable::number(1, 3);
+    group.bench_function("trajectories_x20", |b| {
+        let sim = TrajectorySimulator::new(20).with_noise(NoiseModel::depolarizing(1e-3, 1e-2));
+        b.iter(|| sim.expectation(&circuit, &obs).expect("run"));
+    });
+    group.bench_function("density_exact", |b| {
+        let sim = DensityMatrixSimulator::new().with_noise(NoiseModel::depolarizing(1e-3, 1e-2));
+        b.iter(|| sim.expectation(&circuit, &obs).expect("run"));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_statevector, bench_density_matrix, bench_trajectories);
+criterion_main!(benches);

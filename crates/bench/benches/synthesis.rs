@@ -1,0 +1,55 @@
+//! Criterion benchmark: gate-synthesis kernels (Givens decomposition,
+//! SNAP–displacement optimisation, CSUM compilation) vs qudit dimension.
+
+use cavity_sim::device::Device;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qudit_circuit::gates;
+use qudit_compiler::synthesis::{decompose_unitary, CsumCompiler, SnapDispSynthesizer};
+use qudit_core::random::haar_unitary;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_givens(c: &mut Criterion) {
+    let mut group = c.benchmark_group("givens_decomposition");
+    for d in [4usize, 8, 12] {
+        let u = haar_unitary(&mut StdRng::seed_from_u64(1), d).expect("haar");
+        group.bench_with_input(BenchmarkId::from_parameter(d), &u, |b, u| {
+            b.iter(|| decompose_unitary(u).expect("decomposition"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_snap_disp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("snap_displacement_synthesis");
+    group.sample_size(10);
+    for d in [3usize, 4] {
+        let target = gates::fourier(d);
+        group.bench_with_input(BenchmarkId::from_parameter(d), &target, |b, target| {
+            let synth = SnapDispSynthesizer {
+                layers: 3,
+                max_iterations: 300,
+                target_fidelity: 0.999,
+                seed: 3,
+                padding: 3,
+            };
+            b.iter(|| synth.synthesize(target).expect("synthesis"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_csum(c: &mut Criterion) {
+    let mut group = c.benchmark_group("csum_compilation");
+    for d in [3usize, 6, 10] {
+        let device = Device::single_module(2, d, 1000.0);
+        group.bench_with_input(BenchmarkId::from_parameter(d), &device, |b, device| {
+            let compiler = CsumCompiler::new(device);
+            b.iter(|| compiler.compile(0, 1).expect("compile"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_givens, bench_snap_disp, bench_csum);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Experiment A1 — noise-threshold comparison of the native qudit encoding
+//! against the binary-qubit encoding for the truncated sQED chain
+//! (reproduces the qualitative claim that qudit encodings tolerate
+//! substantially higher gate error).
+//!
+//! Run with `cargo run --release -p bench --bin exp_a_noise_threshold`.
+
+use bench::print_table;
+use lgt::experiments::{encoding_comparison, ThresholdConfig};
+use lgt::hamiltonian::SqedParams;
+use lgt::massgap::DynamicsProtocol;
+use lgt::trotter::TrotterOrder;
+
+fn main() {
+    let config = ThresholdConfig {
+        model: SqedParams {
+            sites: 3,
+            link_dim: 3,
+            coupling_g: 1.0,
+            hopping: 0.5,
+            mass: 0.2,
+            periodic: false,
+        },
+        protocol: DynamicsProtocol {
+            total_time: 3.0,
+            num_samples: 6,
+            steps_per_unit_time: 2,
+            order: TrotterOrder::First,
+        },
+        error_rates: vec![1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 1e-1],
+        deviation_criterion: 0.1,
+    };
+    let comparison = encoding_comparison(&config).expect("encoding comparison");
+
+    let mut rows = Vec::new();
+    for (i, &p) in config.error_rates.iter().enumerate() {
+        rows.push(vec![
+            format!("{p:.0e}"),
+            format!("{:.4}", comparison.qudit.signal_deviations[i]),
+            format!("{:.4}", comparison.qubit.signal_deviations[i]),
+        ]);
+    }
+    print_table(
+        "Experiment A1 — dynamics infidelity vs per-gate error rate (sQED, Ns=3, d=3)",
+        &["gate error p", "qudit encoding (2 carriers)", "binary-qubit encoding (4 carriers)"],
+        &rows,
+    );
+    println!(
+        "\nTolerable error (deviation ≤ {:.0}%):\n  qudit encoding : {}\n  qubit encoding : {}\n  ratio (qudit/qubit): {}",
+        config.deviation_criterion * 100.0,
+        comparison
+            .qudit
+            .tolerable_error
+            .map_or("below sweep".to_string(), |t| format!("{t:.2e}")),
+        comparison
+            .qubit
+            .tolerable_error
+            .map_or("below sweep".to_string(), |t| format!("{t:.2e}")),
+        comparison
+            .tolerable_error_ratio
+            .map_or("n/a".to_string(), |r| format!("{r:.1}x")),
+    );
+    println!("\nPaper reference claim: qutrit-native encodings tolerated 10–100x higher gate error than qubit encodings.");
+}

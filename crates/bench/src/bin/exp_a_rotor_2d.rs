@@ -1,0 +1,49 @@
+//! Experiment A2 — resource scan of the (2+1)D pure-gauge U(1) rotor ladder
+//! (the paper's "identified opportunity" of extending the 1D study to 2D).
+//!
+//! Run with `cargo run --release -p bench --bin exp_a_rotor_2d`.
+
+use bench::print_table;
+use cavity_sim::device::Device;
+use lgt::experiments::rotor_resources;
+use lgt::hamiltonian::{rotor_ladder, RotorParams};
+use lgt::trotter::{trotter_circuit, TrotterOrder};
+use qudit_compiler::mapping::MappingStrategy;
+use qudit_compiler::resource::estimate_resources;
+
+fn main() {
+    // Per-step resources vs rotor truncation on the paper's 9×2 ladder.
+    let mut rows = Vec::new();
+    for d in [2, 3, 4, 6, 8, 10] {
+        let row = rotor_resources(2, 9, d).expect("rotor resources");
+        rows.push(vec![
+            d.to_string(),
+            row.sites.to_string(),
+            row.gates_per_step.to_string(),
+            row.entangling_per_step.to_string(),
+            row.depth_per_step.to_string(),
+        ]);
+    }
+    print_table(
+        "Experiment A2 — U(1) rotor ladder 9x2: Trotter-step resources vs truncation d",
+        &["d", "plaquette qudits", "gates/step", "entangling/step", "depth/step"],
+        &rows,
+    );
+
+    // End-to-end estimate of one Trotter step on the forecast device at d = 4.
+    let device = Device::forecast();
+    let h = rotor_ladder(&RotorParams { rows: 2, cols: 9, dim: 4, coupling_g: 1.0 })
+        .expect("rotor model");
+    let circuit = trotter_circuit(&h, 0.5, 1, TrotterOrder::First).expect("trotter circuit");
+    let est = estimate_resources("rotor 9x2 d=4", &circuit, &device, MappingStrategy::NoiseAware)
+        .expect("estimate");
+    println!("\n{}", est.as_table_row());
+    println!(
+        "Exact spectrum check (3x2 ladder, d=3): gap = {:.4}",
+        rotor_ladder(&RotorParams { rows: 2, cols: 3, dim: 3, coupling_g: 1.0 })
+            .expect("small rotor")
+            .spectrum_gap()
+            .expect("gap")
+            .1
+    );
+}

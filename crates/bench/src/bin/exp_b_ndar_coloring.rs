@@ -1,0 +1,55 @@
+//! Experiment B2 — NDAR-QAOA vs plain QAOA for 3-coloring under photon-loss
+//! noise (reproduces the qualitative claim that noise-directed adaptive
+//! remapping turns the loss attractor into a search asset).
+//!
+//! Run with `cargo run --release -p bench --bin exp_b_ndar_coloring`.
+
+use bench::{print_table, table1_coloring_problem};
+use qopt::baselines::{greedy_coloring, simulated_annealing};
+use qopt::ndar::{run_ndar, NdarConfig};
+use qopt::qaoa::QaoaConfig;
+use qudit_circuit::noise::NoiseModel;
+
+fn main() {
+    let problem = table1_coloring_problem(7, 2);
+    let (_, optimum) = problem.brute_force_optimum();
+    println!(
+        "Instance: random 3-regular graph, {} nodes, {} edges, optimum = {optimum} properly colored edges",
+        problem.graph.num_nodes(),
+        problem.graph.num_edges()
+    );
+    let greedy = problem.properly_colored(&greedy_coloring(&problem));
+    let sa = problem.properly_colored(&simulated_annealing(&problem, 5000, 1));
+    println!("Classical baselines: greedy = {greedy}, simulated annealing = {sa}");
+
+    // A deliberately scarce sampling budget: the regime where the paper's
+    // reference experiment shows the attractor remapping paying off.
+    let config = NdarConfig {
+        rounds: 3,
+        qaoa: QaoaConfig { layers: 1, trajectories: 20, optimizer_rounds: 8, ..Default::default() },
+        shots_per_round: 12,
+    };
+
+    let mut rows = Vec::new();
+    for loss in [0.0, 0.15, 0.3] {
+        let noise = if loss == 0.0 {
+            NoiseModel::noiseless()
+        } else {
+            NoiseModel::cavity(loss, 2.0 * loss, 0.0)
+        };
+        let ndar = run_ndar(&problem, &config, &noise, true).expect("NDAR run");
+        let plain = run_ndar(&problem, &config, &noise, false).expect("plain QAOA run");
+        rows.push(vec![
+            format!("{loss:.2}"),
+            format!("{} ({:.2})", ndar.best_value, ndar.best_value as f64 / optimum as f64),
+            format!("{} ({:.2})", plain.best_value, plain.best_value as f64 / optimum as f64),
+            format!("{:?}", ndar.best_value_per_round),
+        ]);
+    }
+    print_table(
+        "Experiment B2 — best properly-colored edges (approximation ratio) vs photon-loss strength",
+        &["loss per gate", "NDAR-QAOA", "plain QAOA restarts", "NDAR progress per round"],
+        &rows,
+    );
+    println!("\nPaper claim shape: adaptive remapping exploits the dissipative attractor, so its advantage over plain QAOA grows with the noise strength.");
+}

@@ -1,0 +1,43 @@
+//! Experiment M1 — noise-aware mapping ablation: end-to-end circuit fidelity
+//! of the Table-I workloads on the forecast device under noise-aware,
+//! round-robin and random placements.
+//!
+//! Run with `cargo run --release -p bench --bin exp_m_mapping`.
+
+use bench::{print_table, table1_coloring_circuit, table1_sqed_circuit};
+use cavity_sim::device::Device;
+use qudit_compiler::mapping::MappingStrategy;
+use qudit_compiler::resource::estimate_resources;
+
+fn main() {
+    let device = Device::forecast();
+    let workloads = vec![
+        ("sQED 9x2 d=4 (1 Trotter step)", table1_sqed_circuit(4, 1)),
+        ("sQED 9x2 d=4 (3 Trotter steps)", table1_sqed_circuit(4, 3)),
+        ("3-coloring QAOA N=9 p=1", table1_coloring_circuit(9, 7)),
+    ];
+    let strategies = [
+        ("noise-aware", MappingStrategy::NoiseAware),
+        ("round-robin", MappingStrategy::RoundRobin),
+        ("random", MappingStrategy::Random(13)),
+    ];
+    let mut rows = Vec::new();
+    for (name, circuit) in &workloads {
+        let mut row = vec![name.to_string()];
+        let mut fidelities = Vec::new();
+        for (_, strategy) in &strategies {
+            let est = estimate_resources(*name, circuit, &device, *strategy).expect("estimate");
+            fidelities.push(est.estimated_fidelity);
+            row.push(format!("{:.4} ({} swaps, {:.0} µs)", est.estimated_fidelity, est.swap_count, est.total_duration_us));
+        }
+        let gain = fidelities[0] / fidelities[1].max(1e-12);
+        row.push(format!("{gain:.2}x"));
+        rows.push(row);
+    }
+    print_table(
+        "Experiment M1 — estimated end-to-end fidelity by mapping strategy (forecast device)",
+        &["workload", "noise-aware", "round-robin", "random", "gain vs round-robin"],
+        &rows,
+    );
+    println!("\nThe noise-aware pass places busy qudits on the longest-lived modes and keeps interacting pairs within a module, which is exactly the capability missing from qubit-centric toolkits that the paper calls out.");
+}

@@ -1,0 +1,97 @@
+//! Shared workload builders for the experiment harness and Criterion
+//! benchmarks: the three Table-I application circuits and common reporting
+//! helpers.
+
+use lgt::hamiltonian::{sqed_chain, SqedParams};
+use lgt::trotter::{trotter_circuit, TrotterOrder};
+use qopt::graph::{ColoringProblem, Graph};
+use qopt::qaoa::{QaoaConfig, QuditQaoa};
+use qudit_circuit::Circuit;
+
+/// The Table-I sQED workload: a 9×2-site truncated scalar-QED chain (serpentine
+/// ordering of the 2D ladder onto a 1D chain) at link truncation `d`,
+/// Trotterised for `steps` steps.
+///
+/// # Panics
+/// Panics only on programming errors (the parameters are fixed and valid).
+pub fn table1_sqed_circuit(d: usize, steps: usize) -> Circuit {
+    let params = SqedParams {
+        sites: 18,
+        link_dim: d,
+        coupling_g: 1.0,
+        hopping: 0.5,
+        mass: 0.2,
+        periodic: false,
+    };
+    let h = sqed_chain(&params).expect("valid sQED parameters");
+    trotter_circuit(&h, 1.0, steps, TrotterOrder::First).expect("valid Trotter parameters")
+}
+
+/// A smaller sQED circuit for kernels/benchmarks.
+pub fn small_sqed_circuit(sites: usize, d: usize, steps: usize) -> Circuit {
+    let params = SqedParams {
+        sites,
+        link_dim: d,
+        coupling_g: 1.0,
+        hopping: 0.5,
+        mass: 0.2,
+        periodic: false,
+    };
+    let h = sqed_chain(&params).expect("valid sQED parameters");
+    trotter_circuit(&h, 1.0, steps, TrotterOrder::First).expect("valid Trotter parameters")
+}
+
+/// The Table-I coloring workload: 3-coloring QAOA (one layer) on a random
+/// 3-regular graph with `n` nodes.
+pub fn table1_coloring_circuit(n: usize, seed: u64) -> Circuit {
+    let graph = Graph::random_regular(n, 3, seed).expect("valid graph parameters");
+    let problem = ColoringProblem::new(graph, 3).expect("valid coloring problem");
+    let qaoa = QuditQaoa::new(problem, QaoaConfig { layers: 1, ..Default::default() });
+    qaoa.circuit(&[0.6], &[0.4]).expect("valid QAOA angles")
+}
+
+/// The Table-I coloring problem instance itself (for solver-level
+/// experiments).
+pub fn table1_coloring_problem(n: usize, seed: u64) -> ColoringProblem {
+    let graph = Graph::random_regular(n, 3, seed).expect("valid graph parameters");
+    ColoringProblem::new(graph, 3).expect("valid coloring problem")
+}
+
+/// Prints a Markdown-style table: header row plus data rows.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n## {title}\n");
+    println!("| {} |", header.join(" | "));
+    println!("|{}|", header.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+    for row in rows {
+        println!("| {} |", row.join(" | "));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_sqed_circuit_matches_paper_scale() {
+        let c = table1_sqed_circuit(4, 1);
+        assert_eq!(c.num_qudits(), 18);
+        assert!(c.dims().iter().all(|&d| d == 4));
+        assert_eq!(c.multi_qudit_gate_count(), 17);
+    }
+
+    #[test]
+    fn table1_coloring_circuit_has_nine_qutrits() {
+        let c = table1_coloring_circuit(9, 3);
+        assert_eq!(c.num_qudits(), 9);
+        assert!(c.dims().iter().all(|&d| d == 3));
+        assert!(c.multi_qudit_gate_count() >= 9);
+    }
+
+    #[test]
+    fn small_builders_work() {
+        let c = small_sqed_circuit(3, 3, 2);
+        assert_eq!(c.num_qudits(), 3);
+        let p = table1_coloring_problem(6, 1);
+        assert_eq!(p.graph.num_nodes(), 6);
+    }
+}

@@ -1,0 +1,70 @@
+//! Error types for the cQED substrate.
+
+use std::fmt;
+
+use qudit_core::error::CoreError;
+
+/// Result alias used throughout `cavity-sim`.
+pub type Result<T> = std::result::Result<T, CavityError>;
+
+/// Errors produced by the cQED device and open-system simulators.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CavityError {
+    /// A physical parameter was invalid (negative rate, zero step, ...).
+    InvalidParameter(String),
+    /// A mode or module index was out of range.
+    InvalidIndex(String),
+    /// An error bubbled up from the numerics substrate.
+    Core(CoreError),
+    /// An error bubbled up from the circuit layer.
+    Circuit(qudit_circuit::CircuitError),
+}
+
+impl fmt::Display for CavityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CavityError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            CavityError::InvalidIndex(msg) => write!(f, "invalid index: {msg}"),
+            CavityError::Core(e) => write!(f, "core error: {e}"),
+            CavityError::Circuit(e) => write!(f, "circuit error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CavityError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CavityError::Core(e) => Some(e),
+            CavityError::Circuit(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoreError> for CavityError {
+    fn from(e: CoreError) -> Self {
+        CavityError::Core(e)
+    }
+}
+
+impl From<qudit_circuit::CircuitError> for CavityError {
+    fn from(e: qudit_circuit::CircuitError) -> Self {
+        CavityError::Circuit(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: CavityError = CoreError::InvalidDimension(0).into();
+        assert!(e.to_string().contains("core error"));
+        let e: CavityError =
+            qudit_circuit::CircuitError::InvalidGate("bad".into()).into();
+        assert!(e.to_string().contains("circuit error"));
+        assert!(CavityError::InvalidParameter("x".into()).to_string().contains("invalid parameter"));
+    }
+}

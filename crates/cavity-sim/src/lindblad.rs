@@ -1,0 +1,356 @@
+//! Lindblad master-equation integration for open cavity-transmon systems.
+//!
+//! `dρ/dt = −i[H, ρ] + Σ_k γ_k (L_k ρ L_k† − ½{L_k†L_k, ρ})`
+//!
+//! The integrator is a fixed-step RK4 on the full density matrix, which is
+//! robust and easy to validate; the Hilbert spaces used by the reservoir and
+//! primitive-gate error studies (two to four modes at d ≤ 10) stay well
+//! within its reach.
+
+use qudit_core::complex::{c64, Complex64};
+use qudit_core::density::DensityMatrix;
+use qudit_core::error::CoreError;
+use qudit_core::matrix::CMatrix;
+use qudit_core::radix::{embed_operator, Radix};
+
+use crate::error::{CavityError, Result};
+
+/// An open quantum system: Hamiltonian plus weighted collapse operators on a
+/// mixed-radix register of modes.
+#[derive(Debug, Clone)]
+pub struct LindbladSystem {
+    radix: Radix,
+    hamiltonian: CMatrix,
+    collapse: Vec<(CMatrix, f64)>,
+}
+
+impl LindbladSystem {
+    /// Creates an empty system (zero Hamiltonian, no dissipators) on a
+    /// register with the given per-mode truncations.
+    ///
+    /// # Errors
+    /// Returns an error for invalid dimensions.
+    pub fn new(dims: Vec<usize>) -> Result<Self> {
+        let radix = Radix::new(dims).map_err(CavityError::Core)?;
+        let n = radix.total_dim();
+        Ok(Self { radix, hamiltonian: CMatrix::zeros(n, n), collapse: Vec::new() })
+    }
+
+    /// The register description.
+    pub fn radix(&self) -> &Radix {
+        &self.radix
+    }
+
+    /// The full-space Hamiltonian assembled so far.
+    pub fn hamiltonian(&self) -> &CMatrix {
+        &self.hamiltonian
+    }
+
+    /// Number of collapse operators.
+    pub fn num_collapse_operators(&self) -> usize {
+        self.collapse.len()
+    }
+
+    /// Adds `coeff · op` (acting on the listed modes) to the Hamiltonian.
+    ///
+    /// # Errors
+    /// Returns an error if targets or dimensions are invalid or the resulting
+    /// term is not Hermitian.
+    pub fn add_hamiltonian_term(
+        &mut self,
+        op: &CMatrix,
+        targets: &[usize],
+        coeff: f64,
+    ) -> Result<&mut Self> {
+        let full = embed_operator(&self.radix, op, targets).map_err(CavityError::Core)?;
+        self.hamiltonian.axpy(c64(coeff, 0.0), &full).map_err(CavityError::Core)?;
+        if !self.hamiltonian.is_hermitian(1e-8) {
+            return Err(CavityError::Core(CoreError::NotStructured(
+                "accumulated Hamiltonian is not Hermitian".into(),
+            )));
+        }
+        Ok(self)
+    }
+
+    /// Adds a full-space Hamiltonian term directly.
+    ///
+    /// # Errors
+    /// Returns an error on dimension mismatch.
+    pub fn add_full_hamiltonian(&mut self, h: &CMatrix, coeff: f64) -> Result<&mut Self> {
+        self.hamiltonian.axpy(c64(coeff, 0.0), h).map_err(CavityError::Core)?;
+        Ok(self)
+    }
+
+    /// Adds a collapse (jump) operator acting on the listed modes with rate
+    /// `rate` (the rate multiplies the dissipator, i.e. `γ_k`).
+    ///
+    /// # Errors
+    /// Returns an error if targets or dimensions are invalid or the rate is
+    /// negative.
+    pub fn add_collapse(
+        &mut self,
+        op: &CMatrix,
+        targets: &[usize],
+        rate: f64,
+    ) -> Result<&mut Self> {
+        if rate < 0.0 {
+            return Err(CavityError::InvalidParameter(format!(
+                "collapse rate must be non-negative, got {rate}"
+            )));
+        }
+        if rate == 0.0 {
+            return Ok(self);
+        }
+        let full = embed_operator(&self.radix, op, targets).map_err(CavityError::Core)?;
+        self.collapse.push((full, rate));
+        Ok(self)
+    }
+
+    /// Right-hand side of the master equation evaluated at `rho`, with an
+    /// optional extra (time-dependent drive) Hamiltonian.
+    fn rhs(&self, rho: &CMatrix, extra_h: Option<&CMatrix>) -> CMatrix {
+        let n = rho.rows();
+        let mut h = self.hamiltonian.clone();
+        if let Some(extra) = extra_h {
+            h.axpy(Complex64::ONE, extra).expect("same shape");
+        }
+        // −i[H, ρ]
+        let hr = h.matmul(rho).expect("square");
+        let rh = rho.matmul(&h).expect("square");
+        let mut out = (&hr - &rh).scaled(c64(0.0, -1.0));
+        // Dissipators.
+        for (l, rate) in &self.collapse {
+            let l_rho = l.matmul(rho).expect("square");
+            let l_rho_ldag = l_rho.matmul(&l.dagger()).expect("square");
+            let ldag_l = l.dagger().matmul(l).expect("square");
+            let anti_1 = ldag_l.matmul(rho).expect("square");
+            let anti_2 = rho.matmul(&ldag_l).expect("square");
+            let mut dissipator = l_rho_ldag;
+            dissipator.axpy(c64(-0.5, 0.0), &anti_1).expect("same shape");
+            dissipator.axpy(c64(-0.5, 0.0), &anti_2).expect("same shape");
+            out.axpy(c64(*rate, 0.0), &dissipator).expect("same shape");
+        }
+        debug_assert_eq!(out.rows(), n);
+        out
+    }
+
+    /// Evolves `rho` for total time `t` with RK4 steps of size `dt`.
+    ///
+    /// # Errors
+    /// Returns an error if the register differs or parameters are invalid.
+    pub fn evolve(&self, rho: &mut DensityMatrix, t: f64, dt: f64) -> Result<()> {
+        self.evolve_with_drive(rho, t, dt, |_| None, |_, _, _| {})
+    }
+
+    /// Evolves `rho` while recording observables: `callback(step, time, rho)`
+    /// is invoked after every step (and once at t = 0).
+    ///
+    /// # Errors
+    /// Returns an error if the register differs or parameters are invalid.
+    pub fn evolve_observed(
+        &self,
+        rho: &mut DensityMatrix,
+        t: f64,
+        dt: f64,
+        callback: impl FnMut(usize, f64, &DensityMatrix),
+    ) -> Result<()> {
+        self.evolve_with_drive(rho, t, dt, |_| None, callback)
+    }
+
+    /// Evolves `rho` under the static Hamiltonian plus a time-dependent drive
+    /// term `drive(t)` (already embedded in the full space), recording
+    /// observables via `callback`.
+    ///
+    /// # Errors
+    /// Returns an error if the register differs or parameters are invalid.
+    pub fn evolve_with_drive(
+        &self,
+        rho: &mut DensityMatrix,
+        t: f64,
+        dt: f64,
+        drive: impl Fn(f64) -> Option<CMatrix>,
+        mut callback: impl FnMut(usize, f64, &DensityMatrix),
+    ) -> Result<()> {
+        if rho.radix() != &self.radix {
+            return Err(CavityError::Core(CoreError::ShapeMismatch {
+                expected: format!("register {:?}", self.radix.dims()),
+                found: format!("register {:?}", rho.radix().dims()),
+            }));
+        }
+        if dt <= 0.0 || t < 0.0 {
+            return Err(CavityError::InvalidParameter(format!(
+                "evolution requires dt > 0 and t >= 0 (got t = {t}, dt = {dt})"
+            )));
+        }
+        let steps = (t / dt).round().max(1.0) as usize;
+        let h = t / steps as f64;
+        callback(0, 0.0, rho);
+        for step in 0..steps {
+            let time = step as f64 * h;
+            let m = rho.matrix().clone();
+
+            let d1 = drive(time);
+            let k1 = self.rhs(&m, d1.as_ref());
+
+            let mut m2 = m.clone();
+            m2.axpy(c64(h / 2.0, 0.0), &k1).map_err(CavityError::Core)?;
+            let d2 = drive(time + h / 2.0);
+            let k2 = self.rhs(&m2, d2.as_ref());
+
+            let mut m3 = m.clone();
+            m3.axpy(c64(h / 2.0, 0.0), &k2).map_err(CavityError::Core)?;
+            let k3 = self.rhs(&m3, d2.as_ref());
+
+            let mut m4 = m.clone();
+            m4.axpy(c64(h, 0.0), &k3).map_err(CavityError::Core)?;
+            let d4 = drive(time + h);
+            let k4 = self.rhs(&m4, d4.as_ref());
+
+            let mut next = m;
+            next.axpy(c64(h / 6.0, 0.0), &k1).map_err(CavityError::Core)?;
+            next.axpy(c64(h / 3.0, 0.0), &k2).map_err(CavityError::Core)?;
+            next.axpy(c64(h / 3.0, 0.0), &k3).map_err(CavityError::Core)?;
+            next.axpy(c64(h / 6.0, 0.0), &k4).map_err(CavityError::Core)?;
+
+            *rho.matrix_mut() = next;
+            // Guard against slow trace drift from the fixed-step integrator.
+            rho.normalize().map_err(CavityError::Core)?;
+            callback(step + 1, time + h, rho);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qudit_circuit::gates;
+    use qudit_core::state::QuditState;
+
+    #[test]
+    fn free_decay_of_single_mode_matches_exponential() {
+        // Single lossy mode starting in |3⟩: ⟨n⟩(t) = 3 e^{-κt}.
+        let d = 6;
+        let kappa = 0.5;
+        let mut sys = LindbladSystem::new(vec![d]).unwrap();
+        sys.add_collapse(&gates::annihilation(d), &[0], kappa).unwrap();
+        let mut rho = DensityMatrix::from_pure(&QuditState::basis(vec![d], &[3]).unwrap());
+        let t = 1.0;
+        sys.evolve(&mut rho, t, 0.002).unwrap();
+        let n = rho.expectation(&gates::number_operator(d), &[0]).unwrap().re;
+        let expected = 3.0 * (-kappa * t).exp();
+        assert!((n - expected).abs() < 1e-3, "n = {n}, expected {expected}");
+        rho.validate(1e-6).unwrap();
+    }
+
+    #[test]
+    fn rabi_oscillation_between_two_coupled_modes() {
+        // Beam-splitter coupling g(a†b + ab†) swaps a photon with period π/g.
+        let d = 3;
+        let g = 1.0;
+        let mut sys = LindbladSystem::new(vec![d, d]).unwrap();
+        let a = gates::annihilation(d);
+        let hop = a.dagger().kron(&a);
+        let hop_dag = hop.dagger();
+        sys.add_hamiltonian_term(&(&hop + &hop_dag), &[0, 1], g).unwrap();
+        let mut rho =
+            DensityMatrix::from_pure(&QuditState::basis(vec![d, d], &[1, 0]).unwrap());
+        // At t = π/(2g) the photon has fully transferred to mode 1.
+        sys.evolve(&mut rho, std::f64::consts::FRAC_PI_2 / g, 0.001).unwrap();
+        let n0 = rho.expectation(&gates::number_operator(d), &[0]).unwrap().re;
+        let n1 = rho.expectation(&gates::number_operator(d), &[1]).unwrap().re;
+        assert!(n0 < 1e-3, "n0 = {n0}");
+        assert!((n1 - 1.0).abs() < 1e-3, "n1 = {n1}");
+    }
+
+    #[test]
+    fn dephasing_collapse_destroys_coherence_at_expected_rate() {
+        let d = 2;
+        let gamma = 2.0;
+        let mut sys = LindbladSystem::new(vec![d]).unwrap();
+        // L = n̂ dephasing: coherence ρ01 decays at rate γ/2 · (1-0)² · ... for n̂
+        // jump operator the decay rate of ρ01 is γ(n1-n0)²/2 = γ/2.
+        sys.add_collapse(&gates::number_operator(d), &[0], gamma).unwrap();
+        let plus = QuditState::uniform_superposition(vec![d]).unwrap();
+        let mut rho = DensityMatrix::from_pure(&plus);
+        let t = 0.7;
+        sys.evolve(&mut rho, t, 0.001).unwrap();
+        let coh = rho.matrix()[(0, 1)].abs();
+        let expected = 0.5 * (-gamma * t / 2.0).exp();
+        assert!((coh - expected).abs() < 1e-3, "coh {coh} vs {expected}");
+        // Populations untouched.
+        assert!((rho.probabilities()[0] - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn unitary_evolution_preserves_purity_and_energy() {
+        let d = 4;
+        let mut sys = LindbladSystem::new(vec![d]).unwrap();
+        sys.add_hamiltonian_term(&gates::number_operator(d), &[0], 2.0).unwrap();
+        let psi = crate::fock::coherent_state(d, c64(0.6, 0.0)).unwrap();
+        let mut rho = DensityMatrix::from_pure(&psi);
+        let n_before = rho.expectation(&gates::number_operator(d), &[0]).unwrap().re;
+        sys.evolve(&mut rho, 2.0, 0.005).unwrap();
+        let n_after = rho.expectation(&gates::number_operator(d), &[0]).unwrap().re;
+        assert!((n_before - n_after).abs() < 1e-6);
+        assert!((rho.purity() - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn observer_callback_sees_monotone_decay() {
+        let d = 4;
+        let mut sys = LindbladSystem::new(vec![d]).unwrap();
+        sys.add_collapse(&gates::annihilation(d), &[0], 1.0).unwrap();
+        let mut rho = DensityMatrix::from_pure(&QuditState::basis(vec![d], &[2]).unwrap());
+        let mut ns = Vec::new();
+        sys.evolve_observed(&mut rho, 0.5, 0.01, |_, _, r| {
+            ns.push(r.expectation(&gates::number_operator(d), &[0]).unwrap().re);
+        })
+        .unwrap();
+        assert_eq!(ns.len(), 51);
+        for w in ns.windows(2) {
+            assert!(w[1] <= w[0] + 1e-9);
+        }
+    }
+
+    #[test]
+    fn time_dependent_drive_displaces_cavity() {
+        // Resonant drive ε(a + a†) populates the cavity from vacuum.
+        let d = 8;
+        let sys = LindbladSystem::new(vec![d]).unwrap();
+        let a = gates::annihilation(d);
+        let drive_op = &a + &a.dagger();
+        let eps = 0.4;
+        let mut rho = DensityMatrix::zero(vec![d]).unwrap();
+        sys.evolve_with_drive(
+            &mut rho,
+            1.0,
+            0.002,
+            |_t| Some(drive_op.scaled_real(eps)),
+            |_, _, _| {},
+        )
+        .unwrap();
+        let n = rho.expectation(&gates::number_operator(d), &[0]).unwrap().re;
+        // Ideal displacement amplitude α = ε t → ⟨n⟩ = (εt)² = 0.16.
+        assert!((n - 0.16).abs() < 0.02, "n = {n}");
+    }
+
+    #[test]
+    fn invalid_parameters_are_rejected() {
+        let d = 3;
+        let mut sys = LindbladSystem::new(vec![d]).unwrap();
+        assert!(sys.add_collapse(&gates::annihilation(d), &[0], -1.0).is_err());
+        let mut rho = DensityMatrix::zero(vec![d]).unwrap();
+        assert!(sys.evolve(&mut rho, 1.0, 0.0).is_err());
+        assert!(sys.evolve(&mut rho, -1.0, 0.1).is_err());
+        let mut wrong = DensityMatrix::zero(vec![4]).unwrap();
+        assert!(sys.evolve(&mut wrong, 1.0, 0.1).is_err());
+    }
+
+    #[test]
+    fn non_hermitian_hamiltonian_term_rejected() {
+        let d = 3;
+        let mut sys = LindbladSystem::new(vec![d]).unwrap();
+        assert!(sys.add_hamiltonian_term(&gates::annihilation(d), &[0], 1.0).is_err());
+    }
+}

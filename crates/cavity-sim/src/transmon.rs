@@ -1,0 +1,135 @@
+//! Transmon ancilla model.
+//!
+//! In the cavity-qudit architecture the transmon is not a data carrier: it is
+//! the nonlinear element that mediates SNAP gates, sideband transitions and
+//! beam-splitter interactions between cavity modes. Its (comparatively poor)
+//! coherence enters the error model of every primitive it catalyses.
+
+use qudit_core::complex::c64;
+use qudit_core::matrix::CMatrix;
+use serde::{Deserialize, Serialize};
+
+/// Physical parameters of a transmon ancilla.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TransmonParams {
+    /// Qubit transition frequency (GHz).
+    pub frequency_ghz: f64,
+    /// Anharmonicity `α/2π` (MHz, negative for a transmon).
+    pub anharmonicity_mhz: f64,
+    /// Energy-relaxation time T1 (µs).
+    pub t1_us: f64,
+    /// Total dephasing time T2 (µs), `T2 ≤ 2 T1`.
+    pub t2_us: f64,
+    /// Number of transmon levels retained in simulations.
+    pub levels: usize,
+}
+
+impl TransmonParams {
+    /// A representative present-day transmon used in SQMS-style cavity
+    /// experiments (T1 ≈ 100 µs, T2 ≈ 80 µs, α ≈ −200 MHz).
+    pub fn typical() -> Self {
+        Self {
+            frequency_ghz: 5.0,
+            anharmonicity_mhz: -200.0,
+            t1_us: 100.0,
+            t2_us: 80.0,
+            levels: 3,
+        }
+    }
+
+    /// An optimistic near-term transmon (T1 ≈ 300 µs) matching the paper's
+    /// five-year extrapolation.
+    pub fn forecast() -> Self {
+        Self {
+            frequency_ghz: 5.0,
+            anharmonicity_mhz: -180.0,
+            t1_us: 300.0,
+            t2_us: 250.0,
+            levels: 3,
+        }
+    }
+
+    /// Bare transmon Hamiltonian (angular frequency units of 2π·GHz),
+    /// `H = ω b†b + (α/2) b†b(b†b − 1)`, truncated to `self.levels`.
+    pub fn hamiltonian(&self) -> CMatrix {
+        let d = self.levels;
+        let alpha_ghz = self.anharmonicity_mhz / 1000.0;
+        CMatrix::diag(
+            &(0..d)
+                .map(|n| {
+                    let n = n as f64;
+                    c64(self.frequency_ghz * n + 0.5 * alpha_ghz * n * (n - 1.0), 0.0)
+                })
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    /// Pure-dephasing rate `1/Tφ = 1/T2 − 1/(2 T1)` in µs⁻¹ (clamped at 0).
+    pub fn pure_dephasing_rate(&self) -> f64 {
+        (1.0 / self.t2_us - 0.5 / self.t1_us).max(0.0)
+    }
+
+    /// Relaxation rate `1/T1` in µs⁻¹.
+    pub fn relaxation_rate(&self) -> f64 {
+        1.0 / self.t1_us
+    }
+
+    /// Probability that the transmon decoheres (relaxation or pure dephasing)
+    /// at least once while it is active for `duration_us`.
+    pub fn error_during(&self, duration_us: f64) -> f64 {
+        let rate = self.relaxation_rate() + self.pure_dephasing_rate();
+        1.0 - (-rate * duration_us).exp()
+    }
+}
+
+impl Default for TransmonParams {
+    fn default() -> Self {
+        Self::typical()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hamiltonian_spectrum_is_anharmonic() {
+        let t = TransmonParams::typical();
+        let h = t.hamiltonian();
+        let e0 = h[(0, 0)].re;
+        let e1 = h[(1, 1)].re;
+        let e2 = h[(2, 2)].re;
+        let gap01 = e1 - e0;
+        let gap12 = e2 - e1;
+        // The 1→2 transition sits below the 0→1 transition by |α|.
+        assert!((gap01 - gap12 - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dephasing_rate_consistent_with_t1_t2() {
+        let t = TransmonParams { t1_us: 100.0, t2_us: 200.0, ..TransmonParams::typical() };
+        // T2 = 2T1 means no pure dephasing.
+        assert!(t.pure_dephasing_rate().abs() < 1e-12);
+        let t = TransmonParams { t1_us: 100.0, t2_us: 50.0, ..TransmonParams::typical() };
+        assert!(t.pure_dephasing_rate() > 0.0);
+    }
+
+    #[test]
+    fn error_during_grows_with_duration_and_saturates() {
+        let t = TransmonParams::typical();
+        let short = t.error_during(0.1);
+        let long = t.error_during(10.0);
+        assert!(short < long);
+        assert!(short > 0.0);
+        assert!(t.error_during(1e6) <= 1.0);
+        assert!((t.error_during(0.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn forecast_is_better_than_typical() {
+        assert!(TransmonParams::forecast().t1_us > TransmonParams::typical().t1_us);
+        assert!(
+            TransmonParams::forecast().error_during(1.0) < TransmonParams::typical().error_during(1.0)
+        );
+    }
+}

@@ -1,0 +1,60 @@
+//! Error types for the lattice-gauge-theory application crate.
+
+use std::fmt;
+
+/// Result alias used throughout `lgt`.
+pub type Result<T> = std::result::Result<T, LgtError>;
+
+/// Errors produced by model construction, encoding and simulation.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum LgtError {
+    /// The lattice model parameters were invalid.
+    InvalidModel(String),
+    /// An encoding could not represent the model.
+    EncodingFailed(String),
+    /// A simulation or extraction step failed.
+    SimulationFailed(String),
+    /// An error bubbled up from the numerics substrate.
+    Core(qudit_core::CoreError),
+    /// An error bubbled up from the circuit layer.
+    Circuit(qudit_circuit::CircuitError),
+}
+
+impl fmt::Display for LgtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LgtError::InvalidModel(msg) => write!(f, "invalid lattice model: {msg}"),
+            LgtError::EncodingFailed(msg) => write!(f, "encoding failed: {msg}"),
+            LgtError::SimulationFailed(msg) => write!(f, "simulation failed: {msg}"),
+            LgtError::Core(e) => write!(f, "core error: {e}"),
+            LgtError::Circuit(e) => write!(f, "circuit error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LgtError {}
+
+impl From<qudit_core::CoreError> for LgtError {
+    fn from(e: qudit_core::CoreError) -> Self {
+        LgtError::Core(e)
+    }
+}
+
+impl From<qudit_circuit::CircuitError> for LgtError {
+    fn from(e: qudit_circuit::CircuitError) -> Self {
+        LgtError::Circuit(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversion() {
+        assert!(LgtError::InvalidModel("x".into()).to_string().contains("invalid lattice model"));
+        let e: LgtError = qudit_core::CoreError::InvalidDimension(1).into();
+        assert!(e.to_string().contains("core error"));
+    }
+}

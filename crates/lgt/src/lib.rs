@@ -1,0 +1,43 @@
+//! # lgt — lattice gauge theory on cavity qudits
+//!
+//! Application A of the paper: real-time simulation of U(1) lattice gauge
+//! theories on a bosonic-qudit processor.
+//!
+//! * [`operators`] — truncated electric-field / ladder operators.
+//! * [`hamiltonian`] — the (1+1)D truncated scalar-QED chain and the (2+1)D
+//!   pure-gauge rotor ladder (the paper's Table-I target at Ns = 9×2, d ≥ 4).
+//! * [`encoding`] — native qudit vs. binary-qubit hardware layouts.
+//! * [`trotter`] — Trotter–Suzuki circuit construction.
+//! * [`massgap`] — real-time gap extraction from local observables.
+//! * [`experiments`] — packaged noise-threshold (qudit vs. qubit) and rotor
+//!   resource-scan experiments.
+//!
+//! ## Example
+//!
+//! ```
+//! use lgt::hamiltonian::{sqed_chain, SqedParams};
+//! use lgt::trotter::{trotter_circuit, TrotterOrder};
+//!
+//! let h = sqed_chain(&SqedParams { sites: 3, link_dim: 3, ..Default::default() }).unwrap();
+//! let circuit = trotter_circuit(&h, 1.0, 4, TrotterOrder::Second).unwrap();
+//! assert!(circuit.multi_qudit_gate_count() > 0);
+//! let (_, gap) = h.spectrum_gap().unwrap();
+//! assert!(gap > 0.0);
+//! ```
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod encoding;
+pub mod error;
+pub mod experiments;
+pub mod hamiltonian;
+pub mod massgap;
+pub mod operators;
+pub mod trotter;
+
+pub use encoding::{encode, EncodedModel, Encoding};
+pub use error::{LgtError, Result};
+pub use experiments::{encoding_comparison, noise_sweep, EncodingComparison, ThresholdConfig};
+pub use hamiltonian::{rotor_ladder, sqed_chain, LatticeHamiltonian, RotorParams, SqedParams};
+pub use massgap::{run_dynamics, DynamicsProtocol, GapExtraction};
+pub use trotter::{trotter_circuit, TrotterOrder};

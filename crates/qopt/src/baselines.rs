@@ -1,0 +1,140 @@
+//! Classical baselines for the coloring experiments: greedy (DSATUR-style),
+//! simulated annealing and uniform random assignment.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::graph::ColoringProblem;
+
+/// Uniformly random assignment.
+pub fn random_assignment(problem: &ColoringProblem, seed: u64) -> Vec<usize> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..problem.graph.num_nodes()).map(|_| rng.gen_range(0..problem.colors)).collect()
+}
+
+/// Greedy coloring in saturation-degree (DSATUR) order: repeatedly colour the
+/// node with the most distinctly-coloured neighbours, choosing the colour
+/// that creates the fewest conflicts.
+pub fn greedy_coloring(problem: &ColoringProblem) -> Vec<usize> {
+    let n = problem.graph.num_nodes();
+    let k = problem.colors;
+    let mut assignment: Vec<Option<usize>> = vec![None; n];
+    for _ in 0..n {
+        // Pick the uncoloured node with the highest saturation, ties by degree.
+        let mut best_node = None;
+        let mut best_key = (0usize, 0usize);
+        for v in 0..n {
+            if assignment[v].is_some() {
+                continue;
+            }
+            let neighbors = problem.graph.neighbors(v);
+            let saturation = {
+                let mut seen: Vec<usize> =
+                    neighbors.iter().filter_map(|&u| assignment[u]).collect();
+                seen.sort_unstable();
+                seen.dedup();
+                seen.len()
+            };
+            let key = (saturation, neighbors.len());
+            if best_node.is_none() || key > best_key {
+                best_node = Some(v);
+                best_key = key;
+            }
+        }
+        let v = best_node.expect("an uncoloured node exists");
+        // Choose the colour minimising conflicts with already-coloured neighbours.
+        let neighbors = problem.graph.neighbors(v);
+        let mut best_color = 0;
+        let mut best_conflicts = usize::MAX;
+        for c in 0..k {
+            let conflicts = neighbors
+                .iter()
+                .filter(|&&u| assignment[u] == Some(c))
+                .count();
+            if conflicts < best_conflicts {
+                best_conflicts = conflicts;
+                best_color = c;
+            }
+        }
+        assignment[v] = Some(best_color);
+    }
+    assignment.into_iter().map(|c| c.expect("all nodes coloured")).collect()
+}
+
+/// Simulated annealing on single-node colour flips.
+pub fn simulated_annealing(
+    problem: &ColoringProblem,
+    iterations: usize,
+    seed: u64,
+) -> Vec<usize> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = problem.graph.num_nodes();
+    let k = problem.colors;
+    let mut current = random_assignment(problem, seed);
+    let mut current_value = problem.properly_colored(&current) as i64;
+    let mut best = current.clone();
+    let mut best_value = current_value;
+    for step in 0..iterations.max(1) {
+        let temperature = 1.5 * (1.0 - step as f64 / iterations.max(1) as f64) + 0.01;
+        let node = rng.gen_range(0..n);
+        let old_color = current[node];
+        let mut new_color = rng.gen_range(0..k - 1);
+        if new_color >= old_color {
+            new_color += 1;
+        }
+        current[node] = new_color;
+        let value = problem.properly_colored(&current) as i64;
+        let delta = value - current_value;
+        if delta >= 0 || rng.gen::<f64>() < (delta as f64 / temperature).exp() {
+            current_value = value;
+            if value > best_value {
+                best_value = value;
+                best = current.clone();
+            }
+        } else {
+            current[node] = old_color;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+
+    #[test]
+    fn greedy_properly_colors_easy_graphs() {
+        let problem = ColoringProblem::new(Graph::cycle(6).unwrap(), 2).unwrap();
+        let coloring = greedy_coloring(&problem);
+        assert!(problem.is_proper(&coloring));
+        let problem3 = ColoringProblem::new(Graph::cycle(5).unwrap(), 3).unwrap();
+        assert!(problem3.is_proper(&greedy_coloring(&problem3)));
+    }
+
+    #[test]
+    fn greedy_beats_random_on_planted_instances() {
+        let (g, _) = Graph::planted_colorable(20, 3, 0.4, 3).unwrap();
+        let problem = ColoringProblem::new(g, 3).unwrap();
+        let greedy = problem.properly_colored(&greedy_coloring(&problem));
+        let random = problem.properly_colored(&random_assignment(&problem, 1));
+        assert!(greedy >= random);
+    }
+
+    #[test]
+    fn annealing_improves_over_its_random_start() {
+        let (g, _) = Graph::planted_colorable(15, 3, 0.5, 9).unwrap();
+        let problem = ColoringProblem::new(g, 3).unwrap();
+        let start = problem.properly_colored(&random_assignment(&problem, 42));
+        let annealed = problem.properly_colored(&simulated_annealing(&problem, 3000, 42));
+        assert!(annealed >= start);
+        assert!(annealed as f64 >= 0.9 * problem.graph.num_edges() as f64);
+    }
+
+    #[test]
+    fn random_assignment_is_deterministic_per_seed() {
+        let problem = ColoringProblem::new(Graph::complete(6).unwrap(), 3).unwrap();
+        assert_eq!(random_assignment(&problem, 5), random_assignment(&problem, 5));
+        assert!(random_assignment(&problem, 5).iter().all(|&c| c < 3));
+    }
+}

@@ -1,0 +1,57 @@
+//! Error types for the combinatorial-optimisation application crate.
+
+use std::fmt;
+
+/// Result alias used throughout `qopt`.
+pub type Result<T> = std::result::Result<T, QoptError>;
+
+/// Errors produced by problem construction and the quantum/classical solvers.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum QoptError {
+    /// The problem instance was invalid.
+    InvalidProblem(String),
+    /// A solver configuration was invalid.
+    InvalidConfig(String),
+    /// An error bubbled up from the numerics substrate.
+    Core(qudit_core::CoreError),
+    /// An error bubbled up from the circuit layer.
+    Circuit(qudit_circuit::CircuitError),
+}
+
+impl fmt::Display for QoptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QoptError::InvalidProblem(msg) => write!(f, "invalid problem: {msg}"),
+            QoptError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            QoptError::Core(e) => write!(f, "core error: {e}"),
+            QoptError::Circuit(e) => write!(f, "circuit error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for QoptError {}
+
+impl From<qudit_core::CoreError> for QoptError {
+    fn from(e: qudit_core::CoreError) -> Self {
+        QoptError::Core(e)
+    }
+}
+
+impl From<qudit_circuit::CircuitError> for QoptError {
+    fn from(e: qudit_circuit::CircuitError) -> Self {
+        QoptError::Circuit(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversion() {
+        assert!(QoptError::InvalidProblem("x".into()).to_string().contains("invalid problem"));
+        let e: QoptError = qudit_core::CoreError::InvalidDimension(1).into();
+        assert!(e.to_string().contains("core error"));
+    }
+}

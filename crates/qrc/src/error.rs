@@ -1,0 +1,57 @@
+//! Error types for the quantum-reservoir-computing application crate.
+
+use std::fmt;
+
+/// Result alias used throughout `qrc`.
+pub type Result<T> = std::result::Result<T, QrcError>;
+
+/// Errors produced by reservoir construction, training and evaluation.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum QrcError {
+    /// A reservoir or task configuration was invalid.
+    InvalidConfig(String),
+    /// Training failed (singular normal equations, empty data, ...).
+    TrainingFailed(String),
+    /// An error bubbled up from the numerics substrate.
+    Core(qudit_core::CoreError),
+    /// An error bubbled up from the cQED simulator.
+    Cavity(cavity_sim::CavityError),
+}
+
+impl fmt::Display for QrcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QrcError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            QrcError::TrainingFailed(msg) => write!(f, "training failed: {msg}"),
+            QrcError::Core(e) => write!(f, "core error: {e}"),
+            QrcError::Cavity(e) => write!(f, "cavity error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for QrcError {}
+
+impl From<qudit_core::CoreError> for QrcError {
+    fn from(e: qudit_core::CoreError) -> Self {
+        QrcError::Core(e)
+    }
+}
+
+impl From<cavity_sim::CavityError> for QrcError {
+    fn from(e: cavity_sim::CavityError) -> Self {
+        QrcError::Cavity(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversion() {
+        assert!(QrcError::InvalidConfig("x".into()).to_string().contains("invalid configuration"));
+        let e: QrcError = qudit_core::CoreError::InvalidDimension(1).into();
+        assert!(e.to_string().contains("core error"));
+    }
+}

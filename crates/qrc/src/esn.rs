@@ -1,0 +1,169 @@
+//! Classical echo-state-network (ESN) baseline.
+//!
+//! The reservoir-computing comparison in the paper's reference study pits the
+//! two-oscillator quantum reservoir against classical reservoirs of equal
+//! "neuron" count; this module provides that baseline.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::error::{QrcError, Result};
+
+/// Echo-state-network hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EsnParams {
+    /// Number of reservoir neurons.
+    pub size: usize,
+    /// Spectral radius of the recurrent weight matrix.
+    pub spectral_radius: f64,
+    /// Input weight scale.
+    pub input_scale: f64,
+    /// Leak rate in `(0, 1]`.
+    pub leak_rate: f64,
+    /// Random seed for the fixed random weights.
+    pub seed: u64,
+}
+
+impl Default for EsnParams {
+    fn default() -> Self {
+        Self { size: 50, spectral_radius: 0.9, input_scale: 0.5, leak_rate: 0.7, seed: 42 }
+    }
+}
+
+/// A classical echo state network with fixed random weights.
+#[derive(Debug, Clone)]
+pub struct EchoStateNetwork {
+    params: EsnParams,
+    /// Recurrent weights (size × size, row-major).
+    w: Vec<f64>,
+    /// Input weights.
+    w_in: Vec<f64>,
+}
+
+impl EchoStateNetwork {
+    /// Builds an ESN with the given hyper-parameters.
+    ///
+    /// # Errors
+    /// Returns an error for invalid sizes or leak rates.
+    pub fn new(params: EsnParams) -> Result<Self> {
+        if params.size == 0 {
+            return Err(QrcError::InvalidConfig("ESN needs at least one neuron".into()));
+        }
+        if !(0.0..=1.0).contains(&params.leak_rate) || params.leak_rate == 0.0 {
+            return Err(QrcError::InvalidConfig("leak rate must lie in (0, 1]".into()));
+        }
+        let n = params.size;
+        let mut rng = StdRng::seed_from_u64(params.seed);
+        let mut w: Vec<f64> = (0..n * n).map(|_| rng.gen::<f64>() * 2.0 - 1.0).collect();
+        // Sparsify and rescale to the requested spectral radius (power iteration).
+        for value in w.iter_mut() {
+            if rng.gen::<f64>() > 0.2 {
+                *value = 0.0;
+            }
+        }
+        let radius = estimate_spectral_radius(&w, n);
+        if radius > 1e-12 {
+            let scale = params.spectral_radius / radius;
+            for value in w.iter_mut() {
+                *value *= scale;
+            }
+        }
+        let w_in: Vec<f64> =
+            (0..n).map(|_| (rng.gen::<f64>() * 2.0 - 1.0) * params.input_scale).collect();
+        Ok(Self { params, w, w_in })
+    }
+
+    /// Number of neurons (= feature dimension).
+    pub fn feature_dim(&self) -> usize {
+        self.params.size
+    }
+
+    /// Runs the network over an input sequence and returns the neuron states
+    /// after each sample.
+    pub fn run(&self, inputs: &[f64]) -> Vec<Vec<f64>> {
+        let n = self.params.size;
+        let mut state = vec![0.0_f64; n];
+        let mut features = Vec::with_capacity(inputs.len());
+        for &u in inputs {
+            let mut pre = vec![0.0_f64; n];
+            for i in 0..n {
+                let mut acc = self.w_in[i] * u;
+                let row = &self.w[i * n..(i + 1) * n];
+                for (j, wij) in row.iter().enumerate() {
+                    if *wij != 0.0 {
+                        acc += wij * state[j];
+                    }
+                }
+                pre[i] = acc.tanh();
+            }
+            for i in 0..n {
+                state[i] =
+                    (1.0 - self.params.leak_rate) * state[i] + self.params.leak_rate * pre[i];
+            }
+            features.push(state.clone());
+        }
+        features
+    }
+}
+
+fn estimate_spectral_radius(w: &[f64], n: usize) -> f64 {
+    let mut v = vec![1.0_f64; n];
+    let mut radius = 0.0;
+    for _ in 0..50 {
+        let mut next = vec![0.0_f64; n];
+        for i in 0..n {
+            let row = &w[i * n..(i + 1) * n];
+            next[i] = row.iter().zip(v.iter()).map(|(a, b)| a * b).sum();
+        }
+        radius = next.iter().map(|x| x.abs()).fold(0.0, f64::max);
+        if radius < 1e-15 {
+            return 0.0;
+        }
+        for x in &mut next {
+            *x /= radius;
+        }
+        v = next;
+    }
+    radius
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tasks::{self, nmse};
+    use crate::train::fit_ridge;
+
+    #[test]
+    fn construction_validates_parameters() {
+        assert!(EchoStateNetwork::new(EsnParams { size: 0, ..Default::default() }).is_err());
+        assert!(EchoStateNetwork::new(EsnParams { leak_rate: 0.0, ..Default::default() }).is_err());
+        let esn = EchoStateNetwork::new(EsnParams::default()).unwrap();
+        assert_eq!(esn.feature_dim(), 50);
+    }
+
+    #[test]
+    fn states_are_bounded_and_input_dependent() {
+        let esn = EchoStateNetwork::new(EsnParams::default()).unwrap();
+        let a = esn.run(&[0.5, -0.2, 0.3, 0.0]);
+        assert_eq!(a.len(), 4);
+        assert!(a.iter().flatten().all(|x| x.abs() <= 1.0));
+        let b = esn.run(&[0.0, 0.0, 0.0, 0.0]);
+        let diff: f64 =
+            a[0].iter().zip(b[0].iter()).map(|(x, y)| (x - y).abs()).sum();
+        assert!(diff > 1e-6);
+    }
+
+    #[test]
+    fn esn_learns_short_term_memory_task() {
+        let task = tasks::memory_task(300, 2, 7);
+        let esn = EchoStateNetwork::new(EsnParams { size: 60, ..Default::default() }).unwrap();
+        let features = esn.run(&task.inputs);
+        let split = 200;
+        let readout =
+            fit_ridge(&features[..split], &task.targets[..split], 1e-6).unwrap();
+        let preds = readout.predict_batch(&features[split..]);
+        let error = nmse(&preds, &task.targets[split..]);
+        assert!(error < 0.5, "NMSE {error}");
+    }
+}

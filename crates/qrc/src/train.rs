@@ -1,0 +1,168 @@
+//! Linear (ridge-regression) readout layer — the only trained component of a
+//! reservoir computer.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{QrcError, Result};
+
+/// A trained linear readout `y = w·x + b`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinearReadout {
+    /// Feature weights.
+    pub weights: Vec<f64>,
+    /// Bias term.
+    pub bias: f64,
+    /// Ridge regularisation used during training.
+    pub ridge: f64,
+}
+
+impl LinearReadout {
+    /// Predicts the target for one feature vector.
+    pub fn predict(&self, features: &[f64]) -> f64 {
+        self.bias
+            + self
+                .weights
+                .iter()
+                .zip(features.iter())
+                .map(|(w, x)| w * x)
+                .sum::<f64>()
+    }
+
+    /// Predicts targets for a batch of feature vectors.
+    pub fn predict_batch(&self, features: &[Vec<f64>]) -> Vec<f64> {
+        features.iter().map(|f| self.predict(f)).collect()
+    }
+}
+
+/// Fits a ridge-regression readout on `(features, targets)` pairs.
+///
+/// Solves `(Xᵀ X + λ I) w = Xᵀ y` with an explicit bias column.
+///
+/// # Errors
+/// Returns an error for empty or inconsistent data, or a singular system.
+pub fn fit_ridge(features: &[Vec<f64>], targets: &[f64], ridge: f64) -> Result<LinearReadout> {
+    if features.is_empty() || features.len() != targets.len() {
+        return Err(QrcError::TrainingFailed(format!(
+            "need matching non-empty features ({}) and targets ({})",
+            features.len(),
+            targets.len()
+        )));
+    }
+    let dim = features[0].len();
+    if features.iter().any(|f| f.len() != dim) {
+        return Err(QrcError::TrainingFailed("inconsistent feature dimensions".into()));
+    }
+    let aug = dim + 1; // bias column
+    // Normal equations.
+    let mut xtx = vec![vec![0.0_f64; aug]; aug];
+    let mut xty = vec![0.0_f64; aug];
+    for (f, &y) in features.iter().zip(targets.iter()) {
+        let mut row = Vec::with_capacity(aug);
+        row.extend_from_slice(f);
+        row.push(1.0);
+        for i in 0..aug {
+            xty[i] += row[i] * y;
+            for j in 0..aug {
+                xtx[i][j] += row[i] * row[j];
+            }
+        }
+    }
+    for (i, row) in xtx.iter_mut().enumerate().take(dim) {
+        row[i] += ridge;
+    }
+    let solution = solve_real(&mut xtx, &mut xty)?;
+    Ok(LinearReadout { weights: solution[..dim].to_vec(), bias: solution[dim], ridge })
+}
+
+/// Gaussian elimination with partial pivoting on a real system (in place).
+fn solve_real(a: &mut [Vec<f64>], b: &mut [f64]) -> Result<Vec<f64>> {
+    let n = b.len();
+    for col in 0..n {
+        // Pivot.
+        let mut pivot = col;
+        for row in col + 1..n {
+            if a[row][col].abs() > a[pivot][col].abs() {
+                pivot = row;
+            }
+        }
+        if a[pivot][col].abs() < 1e-12 {
+            return Err(QrcError::TrainingFailed(
+                "singular normal equations; increase the ridge parameter".into(),
+            ));
+        }
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        for row in col + 1..n {
+            let factor = a[row][col] / a[col][col];
+            for k in col..n {
+                a[row][k] -= factor * a[col][k];
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    let mut x = vec![0.0; n];
+    for col in (0..n).rev() {
+        let mut acc = b[col];
+        for k in col + 1..n {
+            acc -= a[col][k] * x[k];
+        }
+        x[col] = acc / a[col][col];
+    }
+    Ok(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn recovers_exact_linear_relationship() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let true_w = [2.0, -1.5, 0.5];
+        let true_b = 0.7;
+        let features: Vec<Vec<f64>> =
+            (0..100).map(|_| (0..3).map(|_| rng.gen::<f64>() - 0.5).collect()).collect();
+        let targets: Vec<f64> = features
+            .iter()
+            .map(|f| true_b + f.iter().zip(true_w.iter()).map(|(x, w)| x * w).sum::<f64>())
+            .collect();
+        let readout = fit_ridge(&features, &targets, 1e-9).unwrap();
+        for (w, t) in readout.weights.iter().zip(true_w.iter()) {
+            assert!((w - t).abs() < 1e-6);
+        }
+        assert!((readout.bias - true_b).abs() < 1e-6);
+        let preds = readout.predict_batch(&features);
+        assert!(crate::tasks::nmse(&preds, &targets) < 1e-10);
+    }
+
+    #[test]
+    fn ridge_shrinks_weights() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let features: Vec<Vec<f64>> =
+            (0..50).map(|_| vec![rng.gen::<f64>(), rng.gen::<f64>()]).collect();
+        let targets: Vec<f64> = features.iter().map(|f| 3.0 * f[0] - 2.0 * f[1]).collect();
+        let small = fit_ridge(&features, &targets, 1e-8).unwrap();
+        let large = fit_ridge(&features, &targets, 100.0).unwrap();
+        let norm = |w: &[f64]| w.iter().map(|x| x * x).sum::<f64>();
+        assert!(norm(&large.weights) < norm(&small.weights));
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(fit_ridge(&[], &[], 0.1).is_err());
+        assert!(fit_ridge(&[vec![1.0]], &[1.0, 2.0], 0.1).is_err());
+        assert!(fit_ridge(&[vec![1.0], vec![1.0, 2.0]], &[1.0, 2.0], 0.1).is_err());
+    }
+
+    #[test]
+    fn handles_constant_feature_via_ridge() {
+        // A feature column identical to the bias would be singular without ridge.
+        let features: Vec<Vec<f64>> = (0..20).map(|_| vec![1.0, 1.0]).collect();
+        let targets: Vec<f64> = vec![2.0; 20];
+        let readout = fit_ridge(&features, &targets, 1e-3).unwrap();
+        let pred = readout.predict(&[1.0, 1.0]);
+        assert!((pred - 2.0).abs() < 1e-3);
+    }
+}

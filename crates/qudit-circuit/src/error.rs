@@ -1,0 +1,64 @@
+//! Error types for the gate-model layer.
+
+use std::fmt;
+
+use qudit_core::error::CoreError;
+
+/// Result alias used throughout `qudit-circuit`.
+pub type Result<T> = std::result::Result<T, CircuitError>;
+
+/// Errors produced by circuit construction and simulation.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CircuitError {
+    /// A gate definition was invalid (wrong shape, not unitary, ...).
+    InvalidGate(String),
+    /// A gate or channel was applied to invalid targets.
+    InvalidTargets(String),
+    /// A noise channel definition was invalid (e.g. not trace preserving).
+    InvalidChannel(String),
+    /// The requested operation is unsupported for this circuit (e.g. building
+    /// the unitary of a circuit containing measurements).
+    Unsupported(String),
+    /// An error bubbled up from the numerics substrate.
+    Core(CoreError),
+}
+
+impl fmt::Display for CircuitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CircuitError::InvalidGate(msg) => write!(f, "invalid gate: {msg}"),
+            CircuitError::InvalidTargets(msg) => write!(f, "invalid targets: {msg}"),
+            CircuitError::InvalidChannel(msg) => write!(f, "invalid channel: {msg}"),
+            CircuitError::Unsupported(msg) => write!(f, "unsupported operation: {msg}"),
+            CircuitError::Core(e) => write!(f, "core error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CircuitError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CircuitError::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoreError> for CircuitError {
+    fn from(e: CoreError) -> Self {
+        CircuitError::Core(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversion() {
+        let e: CircuitError = CoreError::InvalidDimension(1).into();
+        assert!(e.to_string().contains("core error"));
+        assert!(CircuitError::InvalidGate("x".into()).to_string().contains("invalid gate"));
+    }
+}

@@ -1,0 +1,342 @@
+//! The [`Gate`] type: a named unitary with explicit per-qudit dimensions.
+
+use qudit_core::complex::{c64, Complex64};
+use qudit_core::linalg::expm_hermitian;
+use qudit_core::matrix::CMatrix;
+
+use crate::error::{CircuitError, Result};
+use crate::gates;
+
+/// A gate: a unitary operator together with the dimensions of the qudits it
+/// acts on and a human-readable name.
+///
+/// The matrix is indexed with the **first** acted-on qudit as the most
+/// significant digit, matching the order of the `targets` slice passed to
+/// [`crate::Circuit::push`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Gate {
+    name: String,
+    dims: Vec<usize>,
+    matrix: CMatrix,
+}
+
+impl Gate {
+    /// Creates a gate from an explicit matrix.
+    ///
+    /// # Errors
+    /// Returns an error if the matrix is not square, its dimension does not
+    /// equal the product of `dims`, or it is not unitary to `1e-8`.
+    pub fn custom(name: impl Into<String>, dims: Vec<usize>, matrix: CMatrix) -> Result<Self> {
+        let total: usize = dims.iter().product();
+        if !matrix.is_square() || matrix.rows() != total {
+            return Err(CircuitError::InvalidGate(format!(
+                "matrix is {}x{} but dims {:?} require {total}x{total}",
+                matrix.rows(),
+                matrix.cols(),
+                dims
+            )));
+        }
+        if !matrix.is_unitary(1e-8) {
+            return Err(CircuitError::InvalidGate("matrix is not unitary".into()));
+        }
+        Ok(Self { name: name.into(), dims, matrix })
+    }
+
+    /// Creates a gate from a possibly non-unitary matrix without the
+    /// unitarity check. Intended for effective non-unitary operators in
+    /// trajectory simulations; regular circuits should use [`Gate::custom`].
+    pub fn custom_unchecked(name: impl Into<String>, dims: Vec<usize>, matrix: CMatrix) -> Self {
+        Self { name: name.into(), dims, matrix }
+    }
+
+    /// Creates the gate `exp(-i H t)` from a Hermitian generator.
+    ///
+    /// # Errors
+    /// Returns an error if the generator is not Hermitian or has the wrong
+    /// dimension.
+    pub fn from_generator(
+        name: impl Into<String>,
+        dims: Vec<usize>,
+        h: &CMatrix,
+        t: f64,
+    ) -> Result<Self> {
+        let total: usize = dims.iter().product();
+        if h.rows() != total || !h.is_square() {
+            return Err(CircuitError::InvalidGate(format!(
+                "generator is {}x{} but dims {:?} require {total}x{total}",
+                h.rows(),
+                h.cols(),
+                dims
+            )));
+        }
+        if !h.is_hermitian(1e-8) {
+            return Err(CircuitError::InvalidGate("generator is not Hermitian".into()));
+        }
+        let u = expm_hermitian(h, c64(0.0, -t))
+            .map_err(|e| CircuitError::InvalidGate(e.to_string()))?;
+        Ok(Self { name: name.into(), dims, matrix: u })
+    }
+
+    // ----- single-qudit constructors -----
+
+    /// Identity gate on a `d`-level qudit.
+    pub fn identity(d: usize) -> Self {
+        Self { name: format!("I{d}"), dims: vec![d], matrix: gates::identity(d) }
+    }
+
+    /// Generalised Pauli-X (cyclic shift).
+    pub fn shift_x(d: usize) -> Self {
+        Self { name: format!("X{d}"), dims: vec![d], matrix: gates::shift_x(d) }
+    }
+
+    /// Generalised Pauli-Z (clock).
+    pub fn clock_z(d: usize) -> Self {
+        Self { name: format!("Z{d}"), dims: vec![d], matrix: gates::clock_z(d) }
+    }
+
+    /// Weyl operator `X^a Z^b`.
+    pub fn weyl(d: usize, a: usize, b: usize) -> Self {
+        Self { name: format!("W{d}({a},{b})"), dims: vec![d], matrix: gates::weyl(d, a, b) }
+    }
+
+    /// Discrete Fourier transform (qudit Hadamard).
+    pub fn fourier(d: usize) -> Self {
+        Self { name: format!("F{d}"), dims: vec![d], matrix: gates::fourier(d) }
+    }
+
+    /// SNAP gate with the given per-level phases.
+    pub fn snap(d: usize, phases: &[f64]) -> Self {
+        Self { name: format!("SNAP{d}"), dims: vec![d], matrix: gates::snap(d, phases) }
+    }
+
+    /// Truncated displacement gate `D(α)`.
+    pub fn displacement(d: usize, alpha: Complex64) -> Self {
+        Self {
+            name: format!("D({:.3}{:+.3}i)", alpha.re, alpha.im),
+            dims: vec![d],
+            matrix: gates::displacement(d, alpha),
+        }
+    }
+
+    /// Rotation in the `{|j⟩, |k⟩}` subspace.
+    pub fn rot_subspace(d: usize, j: usize, k: usize, theta: f64, phi: f64) -> Self {
+        Self {
+            name: format!("R{j}{k}({theta:.3},{phi:.3})"),
+            dims: vec![d],
+            matrix: gates::rot_subspace(d, j, k, theta, phi),
+        }
+    }
+
+    /// Phase on a single level.
+    pub fn phase_on_level(d: usize, level: usize, theta: f64) -> Self {
+        Self {
+            name: format!("P{level}({theta:.3})"),
+            dims: vec![d],
+            matrix: gates::phase_on_level(d, level, theta),
+        }
+    }
+
+    /// QAOA nearest-level mixer `exp(-iβ Σ|k⟩⟨k+1| + h.c.)`.
+    pub fn x_mixer(d: usize, beta: f64) -> Self {
+        Self { name: format!("Mix({beta:.3})"), dims: vec![d], matrix: gates::x_mixer(d, beta) }
+    }
+
+    /// QAOA fully-connected mixer.
+    pub fn full_mixer(d: usize, beta: f64) -> Self {
+        Self {
+            name: format!("FullMix({beta:.3})"),
+            dims: vec![d],
+            matrix: gates::full_mixer(d, beta),
+        }
+    }
+
+    /// Diagonal phase gate `exp(-iγ diag(w))`.
+    pub fn diagonal_phase(weights: &[f64], gamma: f64) -> Self {
+        Self {
+            name: format!("Diag({gamma:.3})"),
+            dims: vec![weights.len()],
+            matrix: gates::diagonal_phase(weights, gamma),
+        }
+    }
+
+    // ----- two-qudit constructors -----
+
+    /// CSUM gate `|a⟩|b⟩ ↦ |a⟩|(b+a) mod d_t⟩` (control first).
+    pub fn csum(d_control: usize, d_target: usize) -> Self {
+        Self {
+            name: format!("CSUM{d_control},{d_target}"),
+            dims: vec![d_control, d_target],
+            matrix: gates::csum(d_control, d_target),
+        }
+    }
+
+    /// Inverse CSUM.
+    pub fn csum_inverse(d_control: usize, d_target: usize) -> Self {
+        Self {
+            name: format!("CSUM†{d_control},{d_target}"),
+            dims: vec![d_control, d_target],
+            matrix: gates::csum_inverse(d_control, d_target),
+        }
+    }
+
+    /// Controlled-phase gate `CZ_d`.
+    pub fn cphase(d_control: usize, d_target: usize) -> Self {
+        Self {
+            name: format!("CZ{d_control},{d_target}"),
+            dims: vec![d_control, d_target],
+            matrix: gates::cphase(d_control, d_target),
+        }
+    }
+
+    /// Weighted controlled phase `exp(-iγ a·b)`.
+    pub fn cphase_weighted(d_control: usize, d_target: usize, gamma: f64) -> Self {
+        Self {
+            name: format!("CZZ({gamma:.3})"),
+            dims: vec![d_control, d_target],
+            matrix: gates::cphase_weighted(d_control, d_target, gamma),
+        }
+    }
+
+    /// SWAP of two `d`-level qudits.
+    pub fn swap(d: usize) -> Self {
+        Self { name: format!("SWAP{d}"), dims: vec![d, d], matrix: gates::swap(d) }
+    }
+
+    /// Beam-splitter interaction between two `d`-level bosonic modes.
+    pub fn beam_splitter(d: usize, theta: f64, phi: f64) -> Self {
+        Self {
+            name: format!("BS({theta:.3},{phi:.3})"),
+            dims: vec![d, d],
+            matrix: gates::beam_splitter(d, theta, phi),
+        }
+    }
+
+    /// Cross-Kerr interaction `exp(-iχt n̂⊗n̂)`.
+    pub fn cross_kerr(d1: usize, d2: usize, chi_t: f64) -> Self {
+        Self {
+            name: format!("XKerr({chi_t:.3})"),
+            dims: vec![d1, d2],
+            matrix: gates::cross_kerr(d1, d2, chi_t),
+        }
+    }
+
+    /// Controlled unitary triggered on a specific control level.
+    pub fn controlled_on_level(d_control: usize, trigger: usize, u: &Gate) -> Self {
+        Self {
+            name: format!("C[{trigger}]{}", u.name),
+            dims: vec![d_control, u.matrix.rows()],
+            matrix: gates::controlled_on_level(d_control, trigger, &u.matrix),
+        }
+    }
+
+    // ----- accessors -----
+
+    /// Gate name (for reports and debugging).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Dimensions of the qudits this gate acts on, in target order.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Number of qudits the gate acts on.
+    pub fn num_qudits(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// The unitary matrix.
+    pub fn matrix(&self) -> &CMatrix {
+        &self.matrix
+    }
+
+    /// The inverse (adjoint) gate.
+    pub fn dagger(&self) -> Gate {
+        Gate {
+            name: format!("{}†", self.name),
+            dims: self.dims.clone(),
+            matrix: self.matrix.dagger(),
+        }
+    }
+
+    /// Renames the gate in place (builder style).
+    #[must_use]
+    pub fn named(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Returns `true` if the matrix is unitary to the given tolerance.
+    pub fn is_unitary(&self, tol: f64) -> bool {
+        self.matrix.is_unitary(tol)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qudit_core::matrix::CMatrix;
+
+    #[test]
+    fn custom_gate_validation() {
+        let ok = Gate::custom("id", vec![2, 2], CMatrix::identity(4));
+        assert!(ok.is_ok());
+        let wrong_dim = Gate::custom("id", vec![2, 2], CMatrix::identity(3));
+        assert!(wrong_dim.is_err());
+        let not_unitary = Gate::custom("bad", vec![2], CMatrix::zeros(2, 2));
+        assert!(not_unitary.is_err());
+    }
+
+    #[test]
+    fn from_generator_builds_unitary() {
+        let h = gates::number_operator(4);
+        let g = Gate::from_generator("exp", vec![4], &h, 0.3).unwrap();
+        assert!(g.is_unitary(1e-10));
+        assert!((g.matrix()[(2, 2)] - Complex64::cis(-0.6)).abs() < 1e-10);
+    }
+
+    #[test]
+    fn from_generator_rejects_non_hermitian() {
+        let m = gates::annihilation(3);
+        assert!(Gate::from_generator("bad", vec![3], &m, 1.0).is_err());
+    }
+
+    #[test]
+    fn dagger_inverts_gate() {
+        let g = Gate::fourier(5);
+        let prod = g.matrix().matmul(g.dagger().matrix()).unwrap();
+        assert!((&prod - &CMatrix::identity(5)).max_abs() < 1e-10);
+        assert!(g.dagger().name().contains('†'));
+    }
+
+    #[test]
+    fn constructors_set_dims() {
+        assert_eq!(Gate::csum(3, 4).dims(), &[3, 4]);
+        assert_eq!(Gate::csum(3, 4).num_qudits(), 2);
+        assert_eq!(Gate::snap(6, &[0.1; 6]).dims(), &[6]);
+        assert_eq!(Gate::beam_splitter(5, 0.3, 0.0).dims(), &[5, 5]);
+    }
+
+    #[test]
+    fn all_standard_gates_are_unitary() {
+        let tol = 1e-9;
+        for d in [2, 3, 5] {
+            assert!(Gate::shift_x(d).is_unitary(tol));
+            assert!(Gate::clock_z(d).is_unitary(tol));
+            assert!(Gate::fourier(d).is_unitary(tol));
+            assert!(Gate::x_mixer(d, 0.7).is_unitary(tol));
+            assert!(Gate::full_mixer(d, 0.7).is_unitary(tol));
+            assert!(Gate::csum(d, d).is_unitary(tol));
+            assert!(Gate::cphase(d, d).is_unitary(tol));
+            assert!(Gate::swap(d).is_unitary(tol));
+            assert!(Gate::displacement(d, c64(0.3, 0.1)).is_unitary(tol));
+        }
+    }
+
+    #[test]
+    fn named_builder_changes_name() {
+        let g = Gate::shift_x(3).named("increment");
+        assert_eq!(g.name(), "increment");
+    }
+}

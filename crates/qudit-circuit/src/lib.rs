@@ -1,0 +1,62 @@
+//! # qudit-circuit
+//!
+//! Gate-model layer for mixed-radix qudit processors: a qudit gate library
+//! (generalised Paulis, Fourier, SNAP, displacement, CSUM, controlled-phase,
+//! beam-splitter, ...), a circuit IR with measurements, resets and explicit
+//! noise channels, Kraus noise channels modelling cavity-qudit error
+//! mechanisms, and three simulation back-ends (state-vector, density-matrix,
+//! Monte-Carlo trajectories).
+//!
+//! This crate provides exactly the tooling the paper identifies as missing
+//! from qubit-centric frameworks: circuits over heterogeneous `d`-level
+//! systems with native qudit entangling gates and cavity-style noise.
+//!
+//! ## Example
+//!
+//! ```
+//! use qudit_circuit::{Circuit, Gate};
+//! use qudit_circuit::sim::{DensityMatrixSimulator, StatevectorSimulator};
+//! use qudit_circuit::noise::NoiseModel;
+//!
+//! // Maximally correlated two-qutrit state, ideal and under photon loss.
+//! let mut c = Circuit::uniform(2, 3);
+//! c.push(Gate::fourier(3), &[0]).unwrap();
+//! c.push(Gate::csum(3, 3), &[0, 1]).unwrap();
+//!
+//! let ideal = StatevectorSimulator::new().run(&c).unwrap();
+//! assert!((ideal.probabilities()[0] - 1.0 / 3.0).abs() < 1e-9);
+//!
+//! let noisy = DensityMatrixSimulator::new()
+//!     .with_noise(NoiseModel::cavity(0.01, 0.03, 0.0))
+//!     .run(&c)
+//!     .unwrap();
+//! assert!(noisy.fidelity_with_pure(&ideal).unwrap() > 0.9);
+//! ```
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod circuit;
+pub mod error;
+pub mod gate;
+pub mod gates;
+pub mod noise;
+pub mod observable;
+pub mod sim;
+
+pub use circuit::{Circuit, Instruction};
+pub use error::{CircuitError, Result};
+pub use gate::Gate;
+pub use noise::{KrausChannel, NoiseKind, NoiseModel};
+pub use observable::{Observable, ObservableTerm};
+
+/// Commonly used items, for glob import.
+pub mod prelude {
+    pub use crate::circuit::{Circuit, Instruction};
+    pub use crate::error::{CircuitError, Result};
+    pub use crate::gate::Gate;
+    pub use crate::noise::{KrausChannel, NoiseKind, NoiseModel};
+    pub use crate::observable::Observable;
+    pub use crate::sim::{
+        DensityMatrixSimulator, StatevectorSimulator, TrajectorySimulator,
+    };
+}

@@ -1,0 +1,271 @@
+//! Exact open-system circuit simulation on density matrices.
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use qudit_core::complex::c64;
+use qudit_core::density::DensityMatrix;
+use qudit_core::matrix::CMatrix;
+
+use crate::circuit::{Circuit, Instruction};
+use crate::error::{CircuitError, Result};
+use crate::noise::{KrausChannel, NoiseModel};
+use crate::observable::Observable;
+use crate::sim::apply_readout_flip;
+
+/// A density-matrix simulator with an attached [`NoiseModel`].
+///
+/// Every gate is followed by the noise model's per-qudit error channels;
+/// measurements are treated non-selectively (the state is dephased in the
+/// computational basis of the measured qudits), which is the correct
+/// description when outcomes are averaged over.
+#[derive(Debug, Clone, Default)]
+pub struct DensityMatrixSimulator {
+    noise: NoiseModel,
+    seed: u64,
+}
+
+impl DensityMatrixSimulator {
+    /// Creates a noiseless density-matrix simulator.
+    pub fn new() -> Self {
+        Self { noise: NoiseModel::noiseless(), seed: 0xDEC0DE }
+    }
+
+    /// Attaches a noise model.
+    #[must_use]
+    pub fn with_noise(mut self, noise: NoiseModel) -> Self {
+        self.noise = noise;
+        self
+    }
+
+    /// Sets the sampling seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The attached noise model.
+    pub fn noise(&self) -> &NoiseModel {
+        &self.noise
+    }
+
+    /// Runs the circuit from `|0...0⟩⟨0...0|`.
+    ///
+    /// # Errors
+    /// Returns an error for invalid instructions.
+    pub fn run(&self, circuit: &Circuit) -> Result<DensityMatrix> {
+        let rho0 = DensityMatrix::zero(circuit.dims().to_vec()).map_err(CircuitError::Core)?;
+        self.run_from(circuit, &rho0)
+    }
+
+    /// Runs the circuit from an arbitrary initial density matrix.
+    ///
+    /// # Errors
+    /// Returns an error if the register differs or an instruction is invalid.
+    pub fn run_from(&self, circuit: &Circuit, initial: &DensityMatrix) -> Result<DensityMatrix> {
+        if initial.radix() != circuit.radix() {
+            return Err(CircuitError::InvalidTargets(format!(
+                "initial state register {:?} does not match circuit register {:?}",
+                initial.radix().dims(),
+                circuit.dims()
+            )));
+        }
+        let mut rho = initial.clone();
+        let dims = circuit.dims().to_vec();
+        for inst in circuit.instructions() {
+            match inst {
+                Instruction::Unitary { gate, targets } => {
+                    rho.apply_unitary(gate.matrix(), targets).map_err(CircuitError::Core)?;
+                    for (channel, qudit) in self.noise.channels_after_gate(targets, &dims)? {
+                        rho.apply_kraus(channel.operators(), &[qudit])
+                            .map_err(CircuitError::Core)?;
+                    }
+                }
+                Instruction::Measure { targets } => {
+                    // Non-selective measurement: full dephasing of the targets.
+                    for &t in targets {
+                        let deph = KrausChannel::dephasing(dims[t], 1.0)?;
+                        rho.apply_kraus(deph.operators(), &[t]).map_err(CircuitError::Core)?;
+                    }
+                }
+                Instruction::Reset { target } => {
+                    let d = dims[*target];
+                    let reset = reset_channel(d);
+                    rho.apply_kraus(&reset, &[*target]).map_err(CircuitError::Core)?;
+                }
+                Instruction::Channel { channel, targets } => {
+                    rho.apply_kraus(channel.operators(), targets).map_err(CircuitError::Core)?;
+                }
+                Instruction::Barrier => {
+                    if self.noise.idle_photon_loss > 0.0 {
+                        for (q, &d) in dims.iter().enumerate() {
+                            let loss = KrausChannel::photon_loss(d, self.noise.idle_photon_loss)?;
+                            rho.apply_kraus(loss.operators(), &[q]).map_err(CircuitError::Core)?;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(rho)
+    }
+
+    /// Expectation value of an observable after running the circuit.
+    ///
+    /// # Errors
+    /// Returns an error for invalid instructions or observable dimensions.
+    pub fn expectation(&self, circuit: &Circuit, observable: &Observable) -> Result<f64> {
+        let rho = self.run(circuit)?;
+        observable.expectation_density(&rho)
+    }
+
+    /// Samples `shots` computational-basis measurements from the final state,
+    /// including the noise model's readout error.
+    ///
+    /// # Errors
+    /// Returns an error for invalid instructions.
+    pub fn sample_counts(
+        &self,
+        circuit: &Circuit,
+        shots: usize,
+    ) -> Result<HashMap<Vec<usize>, usize>> {
+        let rho = self.run(circuit)?;
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut counts: HashMap<Vec<usize>, usize> = HashMap::new();
+        for _ in 0..shots {
+            let mut digits = rho.sample(&mut rng);
+            apply_readout_flip(&mut digits, circuit.dims(), self.noise.readout_flip, &mut rng);
+            *counts.entry(digits).or_insert(0) += 1;
+        }
+        Ok(counts)
+    }
+
+    /// Fidelity of the circuit's noisy output with its noiseless output,
+    /// a convenient end-to-end circuit-quality metric.
+    ///
+    /// # Errors
+    /// Returns an error for circuits that contain non-unitary instructions.
+    pub fn fidelity_with_ideal(&self, circuit: &Circuit) -> Result<f64> {
+        let noisy = self.run(circuit)?;
+        let ideal_state = crate::sim::StatevectorSimulator::new().run(circuit)?;
+        noisy.fidelity_with_pure(&ideal_state).map_err(CircuitError::Core)
+    }
+}
+
+/// Kraus operators of the reset-to-`|0⟩` channel: `K_i = |0⟩⟨i|`.
+fn reset_channel(d: usize) -> Vec<CMatrix> {
+    (0..d)
+        .map(|i| {
+            let mut k = CMatrix::zeros(d, d);
+            k[(0, i)] = c64(1.0, 0.0);
+            k
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::Gate;
+    use qudit_core::metrics::trace_distance;
+
+    #[test]
+    fn noiseless_density_sim_matches_statevector() {
+        let mut c = Circuit::uniform(2, 3);
+        c.push(Gate::fourier(3), &[0]).unwrap();
+        c.push(Gate::csum(3, 3), &[0, 1]).unwrap();
+        let rho = DensityMatrixSimulator::new().run(&c).unwrap();
+        let psi = crate::sim::StatevectorSimulator::new().run(&c).unwrap();
+        assert!((rho.fidelity_with_pure(&psi).unwrap() - 1.0).abs() < 1e-9);
+        assert!((rho.purity() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn depolarising_noise_reduces_fidelity_monotonically() {
+        let mut c = Circuit::uniform(2, 3);
+        c.push(Gate::fourier(3), &[0]).unwrap();
+        c.push(Gate::csum(3, 3), &[0, 1]).unwrap();
+        let mut last = 1.0;
+        for p in [0.0, 0.01, 0.05, 0.2] {
+            let sim = DensityMatrixSimulator::new().with_noise(NoiseModel::depolarizing(p, p));
+            let f = sim.fidelity_with_ideal(&c).unwrap();
+            assert!(f <= last + 1e-9, "fidelity should not increase with noise");
+            last = f;
+        }
+        assert!(last < 0.9);
+    }
+
+    #[test]
+    fn measurement_dephases_but_preserves_populations() {
+        let mut c = Circuit::uniform(1, 3);
+        c.push(Gate::fourier(3), &[0]).unwrap();
+        c.measure_all();
+        let rho = DensityMatrixSimulator::new().run(&c).unwrap();
+        let probs = rho.probabilities();
+        for p in probs {
+            assert!((p - 1.0 / 3.0).abs() < 1e-9);
+        }
+        // Coherences destroyed.
+        assert!(rho.matrix()[(0, 1)].abs() < 1e-9);
+        assert!((rho.purity() - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reset_channel_sends_everything_to_ground() {
+        let mut c = Circuit::uniform(1, 4);
+        c.push(Gate::fourier(4), &[0]).unwrap();
+        c.reset(0).unwrap();
+        let rho = DensityMatrixSimulator::new().run(&c).unwrap();
+        assert!((rho.probabilities()[0] - 1.0).abs() < 1e-9);
+        assert!((rho.purity() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn explicit_channel_matches_noise_model_channel() {
+        // Pushing the channel explicitly must equal attaching it via the model.
+        let mut base = Circuit::uniform(1, 3);
+        base.push(Gate::shift_x(3), &[0]).unwrap();
+
+        let mut explicit = base.clone();
+        explicit
+            .push_channel(KrausChannel::photon_loss(3, 0.3).unwrap(), &[0])
+            .unwrap();
+        let rho_explicit = DensityMatrixSimulator::new().run(&explicit).unwrap();
+
+        let sim = DensityMatrixSimulator::new().with_noise(NoiseModel::cavity(0.3, 0.3, 0.0));
+        let rho_model = sim.run(&base).unwrap();
+
+        assert!(trace_distance(&rho_explicit, &rho_model).unwrap() < 1e-9);
+    }
+
+    #[test]
+    fn sample_counts_sums_to_shots() {
+        let mut c = Circuit::uniform(2, 3);
+        c.push(Gate::fourier(3), &[0]).unwrap();
+        let sim = DensityMatrixSimulator::new().with_noise(NoiseModel::depolarizing(0.05, 0.05));
+        let counts = sim.sample_counts(&c, 500).unwrap();
+        let total: usize = counts.values().sum();
+        assert_eq!(total, 500);
+    }
+
+    #[test]
+    fn idle_noise_applied_at_barriers() {
+        let mut c = Circuit::uniform(1, 3);
+        c.push(Gate::shift_x(3), &[0]).unwrap();
+        c.barrier();
+        let sim = DensityMatrixSimulator::new().with_noise(NoiseModel::cavity(0.0, 0.0, 0.5));
+        let rho = sim.run(&c).unwrap();
+        // Half of the single excitation decays at the barrier.
+        assert!((rho.probabilities()[0] - 0.5).abs() < 1e-9);
+        assert!((rho.probabilities()[1] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn register_mismatch_rejected() {
+        let c = Circuit::uniform(2, 3);
+        let rho = DensityMatrix::zero(vec![3]).unwrap();
+        assert!(DensityMatrixSimulator::new().run_from(&c, &rho).is_err());
+    }
+}

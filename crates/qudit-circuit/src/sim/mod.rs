@@ -1,0 +1,155 @@
+//! Circuit simulators.
+//!
+//! Three back-ends with different cost/fidelity trade-offs:
+//!
+//! * [`StatevectorSimulator`] — pure-state evolution; noise channels and
+//!   measurements are handled stochastically (a single quantum trajectory).
+//! * [`DensityMatrixSimulator`] — exact open-system evolution under a
+//!   [`crate::noise::NoiseModel`]; cost scales with the *square* of the
+//!   Hilbert-space dimension.
+//! * [`TrajectorySimulator`] — Monte-Carlo averaging of many stochastic
+//!   state-vector runs; approaches the density-matrix result as the number of
+//!   trajectories grows, at state-vector memory cost.
+
+mod density;
+mod statevector;
+mod trajectory;
+
+pub use density::DensityMatrixSimulator;
+pub use statevector::{RunOutput, StatevectorSimulator};
+pub use trajectory::TrajectorySimulator;
+
+use rand::Rng;
+
+use qudit_core::state::QuditState;
+
+use crate::error::Result;
+use crate::noise::KrausChannel;
+
+/// Applies a Kraus channel to a pure state stochastically (quantum-trajectory
+/// unraveling): Kraus operator `K_k` is selected with probability
+/// `‖K_k|ψ⟩‖²` and the state renormalised.
+///
+/// Returns the index of the selected Kraus operator.
+///
+/// # Errors
+/// Returns an error if targets or dimensions are invalid.
+pub fn apply_channel_stochastic<R: Rng + ?Sized>(
+    state: &mut QuditState,
+    channel: &KrausChannel,
+    targets: &[usize],
+    rng: &mut R,
+) -> Result<usize> {
+    let ops = channel.operators();
+    // Fast path: unitary channel (single Kraus operator).
+    if ops.len() == 1 {
+        state.apply_operator(&ops[0], targets).map_err(crate::error::CircuitError::Core)?;
+        return Ok(0);
+    }
+    let mut r: f64 = rng.gen::<f64>();
+    let mut candidates: Vec<(usize, QuditState, f64)> = Vec::with_capacity(ops.len());
+    for (k, op) in ops.iter().enumerate() {
+        let mut branch = state.clone();
+        branch.apply_operator(op, targets).map_err(crate::error::CircuitError::Core)?;
+        let p = branch.norm_sqr();
+        candidates.push((k, branch, p));
+    }
+    let total: f64 = candidates.iter().map(|(_, _, p)| p).sum();
+    r *= total;
+    for (k, branch, p) in candidates {
+        if r < p || k == ops.len() - 1 {
+            let mut chosen = branch;
+            chosen.normalize().map_err(crate::error::CircuitError::Core)?;
+            *state = chosen;
+            return Ok(k);
+        }
+        r -= p;
+    }
+    unreachable!("one Kraus branch is always selected")
+}
+
+/// Applies classical readout error to a measured digit string: each digit is
+/// replaced by a uniformly random *different* level with probability `p_flip`.
+pub fn apply_readout_flip<R: Rng + ?Sized>(
+    digits: &mut [usize],
+    dims: &[usize],
+    p_flip: f64,
+    rng: &mut R,
+) {
+    if p_flip <= 0.0 {
+        return;
+    }
+    for (i, digit) in digits.iter_mut().enumerate() {
+        if rng.gen::<f64>() < p_flip {
+            let d = dims[i];
+            let mut new = rng.gen_range(0..d - 1);
+            if new >= *digit {
+                new += 1;
+            }
+            *digit = new;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::noise::KrausChannel;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn stochastic_channel_preserves_normalisation() {
+        let ch = KrausChannel::photon_loss(4, 0.3).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut state = QuditState::basis(vec![4, 4], &[3, 2]).unwrap();
+        for _ in 0..20 {
+            apply_channel_stochastic(&mut state, &ch, &[0], &mut rng).unwrap();
+            assert!((state.norm() - 1.0).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn stochastic_channel_statistics_match_exact_channel() {
+        // Average photon number over many trajectories ≈ exact loss.
+        let d = 5;
+        let gamma = 0.4;
+        let ch = KrausChannel::photon_loss(d, gamma).unwrap();
+        let n_op = crate::gates::number_operator(d);
+        let mut rng = StdRng::seed_from_u64(7);
+        let n_traj = 3000;
+        let mut acc = 0.0;
+        for _ in 0..n_traj {
+            let mut state = QuditState::basis(vec![d], &[3]).unwrap();
+            apply_channel_stochastic(&mut state, &ch, &[0], &mut rng).unwrap();
+            acc += state.expectation(&n_op, &[0]).unwrap().re;
+        }
+        let mean = acc / n_traj as f64;
+        assert!((mean - 3.0 * (1.0 - gamma)).abs() < 0.1);
+    }
+
+    #[test]
+    fn readout_flip_respects_probability() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut flipped = 0usize;
+        let n = 10_000;
+        for _ in 0..n {
+            let mut digits = vec![1usize];
+            apply_readout_flip(&mut digits, &[3], 0.25, &mut rng);
+            if digits[0] != 1 {
+                flipped += 1;
+                assert!(digits[0] < 3);
+            }
+        }
+        let rate = flipped as f64 / n as f64;
+        assert!((rate - 0.25).abs() < 0.02);
+    }
+
+    #[test]
+    fn readout_flip_zero_probability_is_noop() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut digits = vec![2usize, 0, 1];
+        apply_readout_flip(&mut digits, &[3, 3, 3], 0.0, &mut rng);
+        assert_eq!(digits, vec![2, 0, 1]);
+    }
+}

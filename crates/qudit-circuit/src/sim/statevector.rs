@@ -1,0 +1,364 @@
+//! Pure-state (single-trajectory) circuit simulation.
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use qudit_core::state::QuditState;
+
+use crate::circuit::{Circuit, Instruction};
+use crate::error::{CircuitError, Result};
+use crate::gates;
+use crate::noise::NoiseModel;
+use crate::observable::Observable;
+use crate::sim::{apply_channel_stochastic, apply_readout_flip};
+
+/// Output of a state-vector run: the final state and any recorded
+/// measurement outcomes (in program order).
+#[derive(Debug, Clone)]
+pub struct RunOutput {
+    /// Final state after all instructions.
+    pub state: QuditState,
+    /// Recorded measurements, one entry per `Measure` instruction:
+    /// `(targets, observed digits)`.
+    pub measurements: Vec<(Vec<usize>, Vec<usize>)>,
+}
+
+/// A state-vector simulator.
+///
+/// Deterministic circuits evolve exactly; measurements, resets and explicit
+/// noise channels are handled stochastically using the simulator's seeded
+/// random number generator, making every run reproducible.
+#[derive(Debug, Clone)]
+pub struct StatevectorSimulator {
+    seed: u64,
+    noise: NoiseModel,
+}
+
+impl Default for StatevectorSimulator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StatevectorSimulator {
+    /// Creates a simulator with the default seed and no noise model.
+    pub fn new() -> Self {
+        Self { seed: 0xC0FFEE, noise: NoiseModel::noiseless() }
+    }
+
+    /// Creates a simulator with an explicit seed.
+    pub fn with_seed(seed: u64) -> Self {
+        Self { seed, noise: NoiseModel::noiseless() }
+    }
+
+    /// Attaches a gate-level noise model; noise channels are inserted
+    /// stochastically after each gate (one trajectory).
+    #[must_use]
+    pub fn with_noise(mut self, noise: NoiseModel) -> Self {
+        self.noise = noise;
+        self
+    }
+
+    /// Runs the circuit from `|0...0⟩` and returns the final state
+    /// (discarding measurement records).
+    ///
+    /// # Errors
+    /// Returns an error for invalid instructions.
+    pub fn run(&self, circuit: &Circuit) -> Result<QuditState> {
+        Ok(self.run_detailed(circuit)?.state)
+    }
+
+    /// Runs the circuit from `|0...0⟩` and returns state plus measurement
+    /// records.
+    ///
+    /// # Errors
+    /// Returns an error for invalid instructions.
+    pub fn run_detailed(&self, circuit: &Circuit) -> Result<RunOutput> {
+        let initial =
+            QuditState::zero(circuit.dims().to_vec()).map_err(CircuitError::Core)?;
+        self.run_from(circuit, &initial)
+    }
+
+    /// Runs the circuit from an arbitrary initial state.
+    ///
+    /// # Errors
+    /// Returns an error if the initial state register differs from the
+    /// circuit's or an instruction is invalid.
+    pub fn run_from(&self, circuit: &Circuit, initial: &QuditState) -> Result<RunOutput> {
+        self.run_from_with_rng(circuit, initial, &mut StdRng::seed_from_u64(self.seed))
+    }
+
+    /// Runs the circuit from an arbitrary initial state using a caller-owned
+    /// random number generator (used by the trajectory simulator to vary the
+    /// seed per trajectory).
+    ///
+    /// # Errors
+    /// Returns an error if the initial state register differs from the
+    /// circuit's or an instruction is invalid.
+    pub fn run_from_with_rng(
+        &self,
+        circuit: &Circuit,
+        initial: &QuditState,
+        rng: &mut StdRng,
+    ) -> Result<RunOutput> {
+        if initial.radix() != circuit.radix() {
+            return Err(CircuitError::InvalidTargets(format!(
+                "initial state register {:?} does not match circuit register {:?}",
+                initial.radix().dims(),
+                circuit.dims()
+            )));
+        }
+        let mut state = initial.clone();
+        let mut measurements = Vec::new();
+        let dims = circuit.dims().to_vec();
+
+        for inst in circuit.instructions() {
+            match inst {
+                Instruction::Unitary { gate, targets } => {
+                    state
+                        .apply_operator(gate.matrix(), targets)
+                        .map_err(CircuitError::Core)?;
+                    for (channel, qudit) in self.noise.channels_after_gate(targets, &dims)? {
+                        apply_channel_stochastic(&mut state, &channel, &[qudit], rng)?;
+                    }
+                }
+                Instruction::Measure { targets } => {
+                    let mut outcome =
+                        state.measure(targets, rng).map_err(CircuitError::Core)?;
+                    let target_dims: Vec<usize> = targets.iter().map(|&t| dims[t]).collect();
+                    apply_readout_flip(&mut outcome, &target_dims, self.noise.readout_flip, rng);
+                    measurements.push((targets.clone(), outcome));
+                }
+                Instruction::Reset { target } => {
+                    let outcome = state.measure(&[*target], rng).map_err(CircuitError::Core)?;
+                    // Rotate the observed level back to |0⟩ with a shift gate.
+                    let level = outcome[0];
+                    if level != 0 {
+                        let d = dims[*target];
+                        let shift_back = power_of_shift(d, d - level);
+                        state
+                            .apply_operator(&shift_back, &[*target])
+                            .map_err(CircuitError::Core)?;
+                    }
+                }
+                Instruction::Channel { channel, targets } => {
+                    apply_channel_stochastic(&mut state, channel, targets, rng)?;
+                }
+                Instruction::Barrier => {
+                    if self.noise.idle_photon_loss > 0.0 {
+                        for (q, &d) in dims.iter().enumerate() {
+                            let loss = crate::noise::KrausChannel::photon_loss(
+                                d,
+                                self.noise.idle_photon_loss,
+                            )?;
+                            apply_channel_stochastic(&mut state, &loss, &[q], rng)?;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(RunOutput { state, measurements })
+    }
+
+    /// Samples `shots` end-of-circuit computational-basis measurements.
+    ///
+    /// If the circuit is fully deterministic (no measurement, reset or
+    /// channel instructions and no noise model), the state is computed once
+    /// and sampled `shots` times; otherwise the circuit is re-run per shot.
+    ///
+    /// Returned keys are digit strings of the full register.
+    ///
+    /// # Errors
+    /// Returns an error for invalid instructions.
+    pub fn sample_counts(
+        &self,
+        circuit: &Circuit,
+        shots: usize,
+    ) -> Result<HashMap<Vec<usize>, usize>> {
+        let stochastic = self.circuit_is_stochastic(circuit);
+        let mut counts: HashMap<Vec<usize>, usize> = HashMap::new();
+        let mut rng = StdRng::seed_from_u64(self.seed.wrapping_add(1));
+        if !stochastic {
+            let out = self.run_detailed(circuit)?;
+            for _ in 0..shots {
+                let mut digits = out.state.sample(&mut rng);
+                apply_readout_flip(&mut digits, circuit.dims(), self.noise.readout_flip, &mut rng);
+                *counts.entry(digits).or_insert(0) += 1;
+            }
+        } else {
+            for shot in 0..shots {
+                let mut shot_rng = StdRng::seed_from_u64(
+                    self.seed.wrapping_add(0x9E37_79B9).wrapping_mul(shot as u64 + 1),
+                );
+                let initial =
+                    QuditState::zero(circuit.dims().to_vec()).map_err(CircuitError::Core)?;
+                let out = self.run_from_with_rng(circuit, &initial, &mut shot_rng)?;
+                let mut digits = out.state.sample(&mut shot_rng);
+                apply_readout_flip(
+                    &mut digits,
+                    circuit.dims(),
+                    self.noise.readout_flip,
+                    &mut shot_rng,
+                );
+                *counts.entry(digits).or_insert(0) += 1;
+            }
+        }
+        Ok(counts)
+    }
+
+    /// Expectation value of an observable on the final state of a circuit run
+    /// from `|0...0⟩`.
+    ///
+    /// # Errors
+    /// Returns an error for invalid instructions or observable dimensions.
+    pub fn expectation(&self, circuit: &Circuit, observable: &Observable) -> Result<f64> {
+        let state = self.run(circuit)?;
+        observable.expectation(&state)
+    }
+
+    fn circuit_is_stochastic(&self, circuit: &Circuit) -> bool {
+        !self.noise.is_noiseless()
+            || circuit.instructions().iter().any(|i| {
+                matches!(
+                    i,
+                    Instruction::Measure { .. }
+                        | Instruction::Reset { .. }
+                        | Instruction::Channel { .. }
+                )
+            })
+    }
+}
+
+/// `X^k` for the generalised shift, used to un-compute reset outcomes.
+fn power_of_shift(d: usize, k: usize) -> qudit_core::matrix::CMatrix {
+    let x = gates::shift_x(d);
+    let mut acc = qudit_core::matrix::CMatrix::identity(d);
+    for _ in 0..(k % d) {
+        acc = x.matmul(&acc).expect("square");
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::Gate;
+    use crate::noise::{KrausChannel, NoiseModel};
+    use qudit_core::complex::Complex64;
+
+    #[test]
+    fn ghz_qutrit_state_probabilities() {
+        // F on qudit 0 then CSUM 0->1 gives the maximally correlated state.
+        let mut c = Circuit::uniform(2, 3);
+        c.push(Gate::fourier(3), &[0]).unwrap();
+        c.push(Gate::csum(3, 3), &[0, 1]).unwrap();
+        let state = StatevectorSimulator::new().run(&c).unwrap();
+        let p = state.probabilities();
+        for (idx, prob) in p.iter().enumerate() {
+            let a = idx / 3;
+            let b = idx % 3;
+            if a == b {
+                assert!((prob - 1.0 / 3.0).abs() < 1e-10);
+            } else {
+                assert!(*prob < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn measurement_outcomes_are_recorded_and_collapse() {
+        let mut c = Circuit::uniform(2, 3);
+        c.push(Gate::fourier(3), &[0]).unwrap();
+        c.push(Gate::csum(3, 3), &[0, 1]).unwrap();
+        c.measure(&[0]).unwrap();
+        let out = StatevectorSimulator::with_seed(3).run_detailed(&c).unwrap();
+        assert_eq!(out.measurements.len(), 1);
+        let observed = out.measurements[0].1[0];
+        // After collapse, qudit 1 is perfectly correlated.
+        let probs = out.state.marginal_probabilities(&[1]).unwrap();
+        assert!((probs[observed] - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn reset_returns_qudit_to_ground() {
+        let mut c = Circuit::uniform(1, 4);
+        c.push(Gate::fourier(4), &[0]).unwrap();
+        c.reset(0).unwrap();
+        let out = StatevectorSimulator::with_seed(11).run_detailed(&c).unwrap();
+        assert!((out.state.amplitude(&[0]).unwrap().abs() - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn initial_state_register_mismatch_errors() {
+        let c = Circuit::uniform(2, 3);
+        let bad = QuditState::zero(vec![3]).unwrap();
+        assert!(StatevectorSimulator::new().run_from(&c, &bad).is_err());
+    }
+
+    #[test]
+    fn sampling_deterministic_circuit_matches_amplitudes() {
+        let mut c = Circuit::uniform(1, 4);
+        c.push(Gate::fourier(4), &[0]).unwrap();
+        let counts = StatevectorSimulator::with_seed(5).sample_counts(&c, 8000).unwrap();
+        for level in 0..4usize {
+            let n = counts.get(&vec![level]).copied().unwrap_or(0);
+            assert!((n as f64 / 8000.0 - 0.25).abs() < 0.03, "level {level}");
+        }
+    }
+
+    #[test]
+    fn noise_model_changes_outcome_distribution() {
+        // With full photon loss after every gate the register collapses to |00⟩.
+        let mut c = Circuit::uniform(2, 3);
+        c.push(Gate::shift_x(3), &[0]).unwrap();
+        c.push(Gate::shift_x(3), &[1]).unwrap();
+        let noisy = StatevectorSimulator::with_seed(1)
+            .with_noise(NoiseModel::cavity(1.0, 1.0, 0.0));
+        let state = noisy.run(&c).unwrap();
+        assert!((state.amplitude(&[0, 0]).unwrap().abs() - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn explicit_channel_instruction_is_applied() {
+        let mut c = Circuit::uniform(1, 3);
+        c.push(Gate::shift_x(3), &[0]).unwrap();
+        c.push_channel(KrausChannel::photon_loss(3, 1.0).unwrap(), &[0]).unwrap();
+        let state = StatevectorSimulator::new().run(&c).unwrap();
+        assert!((state.amplitude(&[0]).unwrap().abs() - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn expectation_via_observable() {
+        let mut c = Circuit::uniform(1, 4);
+        c.push(Gate::shift_x(4), &[0]).unwrap();
+        c.push(Gate::shift_x(4), &[0]).unwrap();
+        let obs = Observable::number(0, 4);
+        let e = StatevectorSimulator::new().expectation(&c, &obs).unwrap();
+        assert!((e - 2.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn readout_flip_perturbs_counts() {
+        let c = Circuit::uniform(1, 2); // state stays |0⟩
+        let sim = StatevectorSimulator::with_seed(9)
+            .with_noise(NoiseModel::noiseless().with_readout_flip(0.3));
+        let counts = sim.sample_counts(&c, 5000).unwrap();
+        let ones = counts.get(&vec![1usize]).copied().unwrap_or(0) as f64 / 5000.0;
+        assert!((ones - 0.3).abs() < 0.03);
+    }
+
+    #[test]
+    fn runs_are_reproducible_for_fixed_seed() {
+        let mut c = Circuit::uniform(2, 3);
+        c.push(Gate::fourier(3), &[0]).unwrap();
+        c.push(Gate::csum(3, 3), &[0, 1]).unwrap();
+        c.measure_all();
+        let a = StatevectorSimulator::with_seed(77).run_detailed(&c).unwrap();
+        let b = StatevectorSimulator::with_seed(77).run_detailed(&c).unwrap();
+        assert_eq!(a.measurements, b.measurements);
+        let overlap: Complex64 = a.state.inner(&b.state).unwrap();
+        assert!((overlap.abs() - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,235 @@
+//! Monte-Carlo quantum-trajectory simulation.
+//!
+//! Each trajectory is one stochastic state-vector run (noise channels are
+//! unravelled into random Kraus jumps); observables are averaged over
+//! trajectories. Memory cost is that of a state vector, so this back-end
+//! reaches register sizes the density-matrix simulator cannot, at the price
+//! of statistical error `∝ 1/√N`.
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use qudit_core::state::QuditState;
+
+use crate::circuit::Circuit;
+use crate::error::{CircuitError, Result};
+use crate::noise::NoiseModel;
+use crate::observable::Observable;
+use crate::sim::statevector::StatevectorSimulator;
+
+/// A Monte-Carlo trajectory simulator.
+#[derive(Debug, Clone)]
+pub struct TrajectorySimulator {
+    n_trajectories: usize,
+    seed: u64,
+    noise: NoiseModel,
+}
+
+/// Mean and standard error of a trajectory-averaged expectation value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrajectoryEstimate {
+    /// Sample mean over trajectories.
+    pub mean: f64,
+    /// Standard error of the mean.
+    pub std_error: f64,
+    /// Number of trajectories used.
+    pub n_trajectories: usize,
+}
+
+impl TrajectorySimulator {
+    /// Creates a simulator averaging over `n_trajectories` runs.
+    pub fn new(n_trajectories: usize) -> Self {
+        Self { n_trajectories: n_trajectories.max(1), seed: 0x7247, noise: NoiseModel::noiseless() }
+    }
+
+    /// Sets the base random seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Attaches a gate-level noise model.
+    #[must_use]
+    pub fn with_noise(mut self, noise: NoiseModel) -> Self {
+        self.noise = noise;
+        self
+    }
+
+    /// Number of trajectories.
+    pub fn n_trajectories(&self) -> usize {
+        self.n_trajectories
+    }
+
+    /// Trajectory-averaged expectation value of an observable on the final
+    /// state.
+    ///
+    /// # Errors
+    /// Returns an error for invalid instructions or observable dimensions.
+    pub fn expectation(
+        &self,
+        circuit: &Circuit,
+        observable: &Observable,
+    ) -> Result<TrajectoryEstimate> {
+        let mut values = Vec::with_capacity(self.n_trajectories);
+        for t in 0..self.n_trajectories {
+            let state = self.run_single(circuit, t)?;
+            values.push(observable.expectation(&state)?);
+        }
+        Ok(estimate(&values))
+    }
+
+    /// Trajectory-averaged probability of each full-register basis outcome.
+    ///
+    /// # Errors
+    /// Returns an error for invalid instructions.
+    pub fn outcome_distribution(&self, circuit: &Circuit) -> Result<Vec<f64>> {
+        let mut acc = vec![0.0; circuit.total_dim()];
+        for t in 0..self.n_trajectories {
+            let state = self.run_single(circuit, t)?;
+            for (i, p) in state.probabilities().iter().enumerate() {
+                acc[i] += p;
+            }
+        }
+        for p in &mut acc {
+            *p /= self.n_trajectories as f64;
+        }
+        Ok(acc)
+    }
+
+    /// Samples `shots_per_trajectory` measurements from each trajectory and
+    /// aggregates the counts.
+    ///
+    /// # Errors
+    /// Returns an error for invalid instructions.
+    pub fn sample_counts(
+        &self,
+        circuit: &Circuit,
+        shots_per_trajectory: usize,
+    ) -> Result<HashMap<Vec<usize>, usize>> {
+        let mut counts: HashMap<Vec<usize>, usize> = HashMap::new();
+        for t in 0..self.n_trajectories {
+            let state = self.run_single(circuit, t)?;
+            let mut rng = StdRng::seed_from_u64(self.traj_seed(t).wrapping_add(0xABCD));
+            for _ in 0..shots_per_trajectory {
+                let mut digits = state.sample(&mut rng);
+                crate::sim::apply_readout_flip(
+                    &mut digits,
+                    circuit.dims(),
+                    self.noise.readout_flip,
+                    &mut rng,
+                );
+                *counts.entry(digits).or_insert(0) += 1;
+            }
+        }
+        Ok(counts)
+    }
+
+    /// Runs a single trajectory with an index-derived seed.
+    ///
+    /// # Errors
+    /// Returns an error for invalid instructions.
+    pub fn run_single(&self, circuit: &Circuit, index: usize) -> Result<QuditState> {
+        let sv = StatevectorSimulator::with_seed(self.traj_seed(index))
+            .with_noise(self.noise.clone());
+        let initial = QuditState::zero(circuit.dims().to_vec()).map_err(CircuitError::Core)?;
+        let mut rng = StdRng::seed_from_u64(self.traj_seed(index));
+        Ok(sv.run_from_with_rng(circuit, &initial, &mut rng)?.state)
+    }
+
+    fn traj_seed(&self, index: usize) -> u64 {
+        self.seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add((index as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9))
+    }
+}
+
+fn estimate(values: &[f64]) -> TrajectoryEstimate {
+    let n = values.len();
+    let mean = values.iter().sum::<f64>() / n as f64;
+    let var = if n > 1 {
+        values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n as f64 - 1.0)
+    } else {
+        0.0
+    };
+    TrajectoryEstimate { mean, std_error: (var / n as f64).sqrt(), n_trajectories: n }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::Gate;
+    use crate::sim::DensityMatrixSimulator;
+
+    #[test]
+    fn noiseless_trajectories_are_deterministic() {
+        let mut c = Circuit::uniform(2, 3);
+        c.push(Gate::fourier(3), &[0]).unwrap();
+        c.push(Gate::csum(3, 3), &[0, 1]).unwrap();
+        let sim = TrajectorySimulator::new(10);
+        let obs = Observable::number(1, 3);
+        let est = sim.expectation(&c, &obs).unwrap();
+        assert!(est.std_error < 1e-12);
+        assert!((est.mean - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn trajectory_average_converges_to_density_matrix_result() {
+        let mut c = Circuit::uniform(2, 3);
+        c.push(Gate::fourier(3), &[0]).unwrap();
+        c.push(Gate::csum(3, 3), &[0, 1]).unwrap();
+        let noise = NoiseModel::cavity(0.08, 0.15, 0.0);
+        let obs = Observable::number(1, 3);
+
+        let exact = DensityMatrixSimulator::new()
+            .with_noise(noise.clone())
+            .expectation(&c, &obs)
+            .unwrap();
+        let est = TrajectorySimulator::new(600)
+            .with_seed(17)
+            .with_noise(noise)
+            .expectation(&c, &obs)
+            .unwrap();
+        assert!(
+            (est.mean - exact).abs() < 5.0 * est.std_error.max(0.02),
+            "trajectory mean {} vs exact {} (stderr {})",
+            est.mean,
+            exact,
+            est.std_error
+        );
+    }
+
+    #[test]
+    fn outcome_distribution_is_normalised() {
+        let mut c = Circuit::uniform(2, 3);
+        c.push(Gate::fourier(3), &[0]).unwrap();
+        let sim = TrajectorySimulator::new(50).with_noise(NoiseModel::depolarizing(0.05, 0.1));
+        let dist = sim.outcome_distribution(&c).unwrap();
+        assert!((dist.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sample_counts_aggregate_over_trajectories() {
+        let mut c = Circuit::uniform(1, 3);
+        c.push(Gate::shift_x(3), &[0]).unwrap();
+        let sim = TrajectorySimulator::new(4).with_noise(NoiseModel::cavity(0.2, 0.2, 0.0));
+        let counts = sim.sample_counts(&c, 100).unwrap();
+        let total: usize = counts.values().sum();
+        assert_eq!(total, 400);
+    }
+
+    #[test]
+    fn estimates_are_reproducible() {
+        let mut c = Circuit::uniform(1, 4);
+        c.push(Gate::fourier(4), &[0]).unwrap();
+        let noise = NoiseModel::depolarizing(0.1, 0.1);
+        let obs = Observable::number(0, 4);
+        let a = TrajectorySimulator::new(30).with_seed(5).with_noise(noise.clone())
+            .expectation(&c, &obs).unwrap();
+        let b = TrajectorySimulator::new(30).with_seed(5).with_noise(noise)
+            .expectation(&c, &obs).unwrap();
+        assert_eq!(a.mean, b.mean);
+    }
+}

@@ -1,0 +1,82 @@
+//! Error types for the compilation stack.
+
+use std::fmt;
+
+/// Result alias used throughout `qudit-compiler`.
+pub type Result<T> = std::result::Result<T, CompilerError>;
+
+/// Errors produced during synthesis, mapping and routing.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CompilerError {
+    /// The synthesis target was invalid (wrong shape, not unitary, ...).
+    InvalidTarget(String),
+    /// Synthesis did not reach the requested fidelity within its budget.
+    SynthesisFailed {
+        /// Best fidelity reached.
+        best_fidelity: f64,
+        /// Fidelity that was requested.
+        requested: f64,
+    },
+    /// The circuit cannot be mapped onto the device (too many qudits,
+    /// incompatible dimensions, ...).
+    MappingFailed(String),
+    /// Routing could not connect two qudits on the device topology.
+    RoutingFailed(String),
+    /// An error bubbled up from the numerics substrate.
+    Core(qudit_core::CoreError),
+    /// An error bubbled up from the circuit layer.
+    Circuit(qudit_circuit::CircuitError),
+    /// An error bubbled up from the device model.
+    Cavity(cavity_sim::CavityError),
+}
+
+impl fmt::Display for CompilerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompilerError::InvalidTarget(msg) => write!(f, "invalid synthesis target: {msg}"),
+            CompilerError::SynthesisFailed { best_fidelity, requested } => write!(
+                f,
+                "synthesis reached fidelity {best_fidelity:.6} below the requested {requested:.6}"
+            ),
+            CompilerError::MappingFailed(msg) => write!(f, "mapping failed: {msg}"),
+            CompilerError::RoutingFailed(msg) => write!(f, "routing failed: {msg}"),
+            CompilerError::Core(e) => write!(f, "core error: {e}"),
+            CompilerError::Circuit(e) => write!(f, "circuit error: {e}"),
+            CompilerError::Cavity(e) => write!(f, "device error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CompilerError {}
+
+impl From<qudit_core::CoreError> for CompilerError {
+    fn from(e: qudit_core::CoreError) -> Self {
+        CompilerError::Core(e)
+    }
+}
+
+impl From<qudit_circuit::CircuitError> for CompilerError {
+    fn from(e: qudit_circuit::CircuitError) -> Self {
+        CompilerError::Circuit(e)
+    }
+}
+
+impl From<cavity_sim::CavityError> for CompilerError {
+    fn from(e: cavity_sim::CavityError) -> Self {
+        CompilerError::Cavity(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let e = CompilerError::SynthesisFailed { best_fidelity: 0.97, requested: 0.999 };
+        assert!(e.to_string().contains("0.97"));
+        let e: CompilerError = qudit_core::CoreError::InvalidDimension(1).into();
+        assert!(e.to_string().contains("core error"));
+    }
+}

@@ -1,0 +1,194 @@
+//! Resource estimation: maps + routes a circuit, then aggregates duration,
+//! error budget and feasibility against the device's coherence times.
+//!
+//! This module regenerates the quantitative content of the paper's Table I:
+//! for each application circuit it answers "how many qudits and entangling
+//! gates, how long does it run, and does it fit within the coherence budget
+//! of the forecast device".
+
+use serde::{Deserialize, Serialize};
+
+use cavity_sim::device::Device;
+use qudit_circuit::Circuit;
+
+use crate::error::Result;
+use crate::mapping::{map_circuit, Mapping, MappingStrategy};
+use crate::routing::{route, RoutedCircuit};
+
+/// A complete resource estimate for one application circuit on one device.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResourceEstimate {
+    /// Label for reports.
+    pub name: String,
+    /// Device the estimate was made for.
+    pub device: String,
+    /// Number of logical qudits.
+    pub logical_qudits: usize,
+    /// Logical qudit dimensions.
+    pub dims: Vec<usize>,
+    /// Total unitary gate count.
+    pub gate_count: usize,
+    /// Multi-qudit (entangling) gate count.
+    pub entangling_gate_count: usize,
+    /// Circuit depth (greedy layering).
+    pub depth: usize,
+    /// Router-inserted SWAP count.
+    pub swap_count: usize,
+    /// Total serial duration (µs).
+    pub total_duration_us: f64,
+    /// Estimated end-to-end success probability.
+    pub estimated_fidelity: f64,
+    /// Worst mode T1 on the device (µs), for the feasibility ratio.
+    pub worst_t1_us: f64,
+    /// Ratio duration / worst T1 — below ~0.1 the experiment is coherence-
+    /// feasible in the sense used by the paper ("difficult but mappable").
+    pub duration_over_t1: f64,
+    /// `true` when `duration_over_t1 < 1` (the circuit completes within one
+    /// lifetime of the worst mode it uses).
+    pub coherence_feasible: bool,
+}
+
+impl ResourceEstimate {
+    /// Renders the estimate as a single human-readable table row.
+    pub fn as_table_row(&self) -> String {
+        format!(
+            "{:<28} | {:>3} qudits (d={:?}) | {:>5} gates ({:>4} entangling, {:>3} swaps) | {:>9.1} µs | F ≈ {:.3} | dur/T1 = {:.3}",
+            self.name,
+            self.logical_qudits,
+            self.dims.iter().max().copied().unwrap_or(0),
+            self.gate_count,
+            self.entangling_gate_count,
+            self.swap_count,
+            self.total_duration_us,
+            self.estimated_fidelity,
+            self.duration_over_t1,
+        )
+    }
+}
+
+/// Maps, routes and summarises a circuit on a device.
+///
+/// # Errors
+/// Returns an error if mapping or routing fails.
+pub fn estimate_resources(
+    name: impl Into<String>,
+    circuit: &Circuit,
+    device: &Device,
+    strategy: MappingStrategy,
+) -> Result<ResourceEstimate> {
+    let mapping = map_circuit(circuit, device, strategy)?;
+    estimate_with_mapping(name, circuit, device, &mapping)
+}
+
+/// Like [`estimate_resources`] but with a caller-supplied mapping (used by
+/// the mapping-ablation experiment).
+///
+/// # Errors
+/// Returns an error if routing fails.
+pub fn estimate_with_mapping(
+    name: impl Into<String>,
+    circuit: &Circuit,
+    device: &Device,
+    mapping: &Mapping,
+) -> Result<ResourceEstimate> {
+    let routed: RoutedCircuit = route(circuit, device, mapping)?;
+    let worst_t1 = mapping
+        .logical_to_physical
+        .iter()
+        .map(|&m| device.mode(m).map(|p| p.t1_us).unwrap_or(f64::INFINITY))
+        .fold(f64::INFINITY, f64::min);
+    let duration = routed.total_duration_us();
+    Ok(ResourceEstimate {
+        name: name.into(),
+        device: device.name.clone(),
+        logical_qudits: circuit.num_qudits(),
+        dims: circuit.dims().to_vec(),
+        gate_count: circuit.gate_count(),
+        entangling_gate_count: circuit.multi_qudit_gate_count(),
+        depth: circuit.depth(),
+        swap_count: routed.swap_count,
+        total_duration_us: duration,
+        estimated_fidelity: routed.estimated_fidelity(),
+        worst_t1_us: worst_t1,
+        duration_over_t1: duration / worst_t1,
+        coherence_feasible: duration < worst_t1,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qudit_circuit::Gate;
+
+    fn trotter_like_circuit(n: usize, d: usize, layers: usize) -> Circuit {
+        let mut c = Circuit::uniform(n, d);
+        for _ in 0..layers {
+            for q in 0..n {
+                c.push(Gate::snap(d, &vec![0.1; d]), &[q]).unwrap();
+            }
+            for q in 0..n - 1 {
+                c.push(Gate::csum(d, d), &[q, q + 1]).unwrap();
+                c.push(Gate::csum_inverse(d, d), &[q, q + 1]).unwrap();
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn estimate_counts_match_circuit() {
+        let c = trotter_like_circuit(4, 4, 2);
+        let dev = Device::testbed();
+        let est =
+            estimate_resources("test", &c, &dev, MappingStrategy::NoiseAware).unwrap();
+        assert_eq!(est.logical_qudits, 4);
+        assert_eq!(est.gate_count, c.gate_count());
+        assert_eq!(est.entangling_gate_count, 12);
+        assert!(est.total_duration_us > 0.0);
+        assert!(est.estimated_fidelity > 0.0 && est.estimated_fidelity < 1.0);
+        assert!(est.duration_over_t1 > 0.0);
+        assert!(!est.as_table_row().is_empty());
+    }
+
+    #[test]
+    fn paper_scale_sqed_circuit_is_coherence_feasible_on_forecast_device() {
+        // Table-I row 1: 9×2 lattice, d = 4, a couple of Trotter layers.
+        let c = trotter_like_circuit(18, 4, 2);
+        let dev = Device::forecast();
+        let est = estimate_resources("sQED 9x2 d=4", &c, &dev, MappingStrategy::NoiseAware)
+            .unwrap();
+        assert!(est.coherence_feasible, "duration/T1 = {}", est.duration_over_t1);
+        assert_eq!(est.logical_qudits, 18);
+    }
+
+    #[test]
+    fn noise_aware_estimate_not_worse_than_round_robin() {
+        let c = trotter_like_circuit(6, 4, 3);
+        let dev = Device::forecast();
+        let aware =
+            estimate_resources("aware", &c, &dev, MappingStrategy::NoiseAware).unwrap();
+        let naive =
+            estimate_resources("naive", &c, &dev, MappingStrategy::RoundRobin).unwrap();
+        assert!(aware.estimated_fidelity >= naive.estimated_fidelity * 0.999);
+    }
+
+    #[test]
+    fn longer_circuits_cost_more() {
+        let dev = Device::testbed();
+        let short = estimate_resources(
+            "short",
+            &trotter_like_circuit(4, 4, 1),
+            &dev,
+            MappingStrategy::NoiseAware,
+        )
+        .unwrap();
+        let long = estimate_resources(
+            "long",
+            &trotter_like_circuit(4, 4, 4),
+            &dev,
+            MappingStrategy::NoiseAware,
+        )
+        .unwrap();
+        assert!(long.total_duration_us > short.total_duration_us);
+        assert!(long.estimated_fidelity < short.estimated_fidelity);
+    }
+}

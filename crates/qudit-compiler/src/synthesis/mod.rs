@@ -1,0 +1,10 @@
+//! Gate synthesis: exact Givens decompositions, numerical SNAP–displacement
+//! synthesis, and CSUM compilation onto cavity primitives.
+
+pub mod csum;
+pub mod givens;
+pub mod snap_disp;
+
+pub use csum::{CsumCompiler, CsumSynthesis};
+pub use givens::{decompose_unitary, GivensDecomposition, GivensRotation};
+pub use snap_disp::{SnapDispSynthesis, SnapDispSynthesizer};

@@ -1,0 +1,95 @@
+//! Error types shared by the numerics substrate.
+
+use std::fmt;
+
+/// Result alias used throughout `qudit-core`.
+pub type Result<T> = std::result::Result<T, CoreError>;
+
+/// Errors produced by the numerics substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// Two objects had incompatible shapes or dimensions.
+    ShapeMismatch {
+        /// Description of the expected shape.
+        expected: String,
+        /// Description of the shape actually supplied.
+        found: String,
+    },
+    /// A qudit index referred to a subsystem that does not exist.
+    InvalidSubsystem {
+        /// The offending index.
+        index: usize,
+        /// Number of subsystems in the register.
+        count: usize,
+    },
+    /// A basis-state label was out of range for its qudit dimension.
+    InvalidBasisState {
+        /// The offending level.
+        level: usize,
+        /// The qudit dimension.
+        dim: usize,
+    },
+    /// A qudit dimension was invalid (must be at least 2).
+    InvalidDimension(usize),
+    /// A probability or probability distribution was invalid.
+    InvalidProbability(String),
+    /// An iterative numerical routine failed to converge.
+    NoConvergence {
+        /// Name of the routine.
+        routine: &'static str,
+        /// Iterations performed before giving up.
+        iterations: usize,
+    },
+    /// A matrix did not satisfy a structural requirement (unitarity,
+    /// Hermiticity, positivity, trace preservation, ...).
+    NotStructured(String),
+    /// Catch-all for invalid arguments.
+    InvalidArgument(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::ShapeMismatch { expected, found } => {
+                write!(f, "shape mismatch: expected {expected}, found {found}")
+            }
+            CoreError::InvalidSubsystem { index, count } => {
+                write!(f, "subsystem index {index} out of range for a register of {count} qudits")
+            }
+            CoreError::InvalidBasisState { level, dim } => {
+                write!(f, "basis level {level} out of range for qudit dimension {dim}")
+            }
+            CoreError::InvalidDimension(d) => {
+                write!(f, "invalid qudit dimension {d}: dimensions must be at least 2")
+            }
+            CoreError::InvalidProbability(msg) => write!(f, "invalid probability: {msg}"),
+            CoreError::NoConvergence { routine, iterations } => {
+                write!(f, "{routine} failed to converge after {iterations} iterations")
+            }
+            CoreError::NotStructured(msg) => write!(f, "structural requirement violated: {msg}"),
+            CoreError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = CoreError::ShapeMismatch { expected: "2x2".into(), found: "3x3".into() };
+        assert!(e.to_string().contains("expected 2x2"));
+        let e = CoreError::InvalidSubsystem { index: 7, count: 3 };
+        assert!(e.to_string().contains('7'));
+        let e = CoreError::InvalidBasisState { level: 5, dim: 3 };
+        assert!(e.to_string().contains("dimension 3"));
+        let e = CoreError::InvalidDimension(1);
+        assert!(e.to_string().contains("at least 2"));
+        let e = CoreError::NoConvergence { routine: "jacobi", iterations: 100 };
+        assert!(e.to_string().contains("jacobi"));
+    }
+}

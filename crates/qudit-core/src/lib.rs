@@ -1,0 +1,73 @@
+//! # qudit-core
+//!
+//! Numerics substrate for the `qudit-cavity` workspace: complex scalars and
+//! dense matrices, mixed-radix index arithmetic for heterogeneous qudit
+//! registers, pure states and density matrices, measurement, distance
+//! metrics, and seeded random quantum objects.
+//!
+//! The crate is deliberately dependency-light: all linear algebra is
+//! implemented here (Jacobi Hermitian eigendecomposition, Padé matrix
+//! exponential, LU solves, Gram–Schmidt QR), sized for the Hilbert-space
+//! dimensions that near-term qudit processors — and therefore this
+//! workspace's simulators — actually reach.
+//!
+//! ## Conventions
+//!
+//! * Basis ordering is **big-endian**: qudit 0 is the most significant digit
+//!   of the flat index (see [`radix::Radix`]).
+//! * Operators acting on a subset of qudits are indexed with the *first*
+//!   listed target as the most significant digit.
+//! * All randomness flows through caller-provided [`rand::Rng`] instances so
+//!   experiments are reproducible from a seed.
+//!
+//! ## Example
+//!
+//! ```
+//! use qudit_core::prelude::*;
+//!
+//! // A qutrit–qutrit register in |1, 2⟩.
+//! let mut state = QuditState::basis(vec![3, 3], &[1, 2]).unwrap();
+//!
+//! // Apply the generalised Fourier gate to qudit 0 and inspect probabilities.
+//! let f = qudit_core::matrix::CMatrix::from_fn(3, 3, |j, k| {
+//!     Complex64::cis(2.0 * std::f64::consts::PI * (j * k) as f64 / 3.0)
+//!         .scale(1.0 / 3.0_f64.sqrt())
+//! });
+//! state.apply_operator(&f, &[0]).unwrap();
+//! let probs = state.marginal_probabilities(&[0]).unwrap();
+//! assert!((probs.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+//! ```
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod complex;
+pub mod density;
+pub mod error;
+pub mod linalg;
+pub mod matrix;
+pub mod metrics;
+pub mod radix;
+pub mod random;
+pub mod state;
+
+pub use complex::{c64, Complex64};
+pub use density::DensityMatrix;
+pub use error::{CoreError, Result};
+pub use matrix::CMatrix;
+pub use radix::Radix;
+pub use state::QuditState;
+
+/// Commonly used items, for glob import.
+pub mod prelude {
+    pub use crate::complex::{c64, Complex64};
+    pub use crate::density::DensityMatrix;
+    pub use crate::error::{CoreError, Result};
+    pub use crate::linalg::{eigh, expm, expm_hermitian};
+    pub use crate::matrix::CMatrix;
+    pub use crate::metrics::{
+        average_gate_fidelity, density_fidelity, process_fidelity, state_fidelity, trace_distance,
+    };
+    pub use crate::radix::{embed_operator, Radix};
+    pub use crate::random::{haar_state, haar_unitary};
+    pub use crate::state::QuditState;
+}

@@ -1,0 +1,49 @@
+//! Application A walk-through: truncated scalar-QED chain, Trotterised
+//! real-time dynamics, and the qudit-vs-qubit encoding comparison at one
+//! noise point.
+//!
+//! Run with `cargo run --release --example lattice_gauge_theory`.
+
+use qudit_cavity::circuit::noise::NoiseModel;
+use qudit_cavity::lgt::encoding::{encode, Encoding};
+use qudit_cavity::lgt::hamiltonian::{sqed_chain, SqedParams};
+use qudit_cavity::lgt::massgap::{run_dynamics, DynamicsProtocol};
+use qudit_cavity::lgt::trotter::TrotterOrder;
+
+fn main() {
+    let params = SqedParams {
+        sites: 3,
+        link_dim: 3,
+        coupling_g: 1.0,
+        hopping: 0.5,
+        mass: 0.2,
+        periodic: false,
+    };
+    let h = sqed_chain(&params).expect("sQED model");
+    let (e0, gap) = h.spectrum_gap().expect("spectrum");
+    println!("Model: {} — E0 = {e0:.4}, exact gap = {gap:.4}", h.name);
+
+    let protocol = DynamicsProtocol {
+        total_time: 5.0,
+        num_samples: 10,
+        steps_per_unit_time: 3,
+        order: TrotterOrder::Second,
+    };
+    let result = run_dynamics(&h, 1, &protocol, &NoiseModel::noiseless()).expect("dynamics");
+    println!("\nReal-time electric-energy signal on the probed site:");
+    for (t, s) in result.times.iter().zip(result.signal.iter()) {
+        println!("  t = {t:5.2}  ⟨Lz²⟩ = {s:.4}");
+    }
+    println!("Dominant oscillation frequency (gap estimator): {:.3}", result.extracted_frequency);
+
+    // Hardware cost of the two encodings.
+    for encoding in [Encoding::DirectQudit, Encoding::BinaryQubit] {
+        let encoded = encode(&h, encoding).expect("encoding");
+        println!(
+            "\nEncoding {:<13}: {} carriers, {} two-carrier-or-larger Hamiltonian terms",
+            encoding.label(),
+            encoded.num_carriers(),
+            encoded.hamiltonian.two_site_term_count(),
+        );
+    }
+}

@@ -1,0 +1,55 @@
+//! # qudit-cavity
+//!
+//! Umbrella crate for the `qudit-cavity` workspace: a near-term application
+//! engineering toolkit for superconducting cavity qudit processors.
+//!
+//! This crate re-exports the public API of every workspace member so that a
+//! downstream user can depend on `qudit-cavity` alone:
+//!
+//! * [`core`] — complex linear algebra, mixed-radix qudit registers, state
+//!   vectors, density matrices, measurement and metrics
+//!   (re-export of `qudit-core`).
+//! * [`circuit`] — qudit gate library, circuit IR, noise channels and the
+//!   statevector / density-matrix / trajectory simulators
+//!   (re-export of `qudit-circuit`).
+//! * [`cavity`] — the cQED hardware substrate: Fock-space operators,
+//!   dispersive transmon–cavity models, SNAP / displacement / beam-splitter
+//!   primitives and a Lindblad integrator (re-export of `cavity-sim`).
+//! * [`compiler`] — SNAP+displacement synthesis, CSUM decomposition,
+//!   noise-aware mapping and routing, and resource estimation
+//!   (re-export of `qudit-compiler`).
+//! * [`lgt`] — application A: lattice gauge theory (scalar QED and pure-gauge
+//!   rotor models) with qubit / qutrit / qudit encodings.
+//! * [`qopt`] — application B: graph-coloring QAOA with qudit one-hot
+//!   encoding, NDAR and QRAC scaling.
+//! * [`qrc`] — application C: quantum reservoir computing on coupled
+//!   dissipative oscillators.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use qudit_cavity::circuit::{Circuit, Gate};
+//! use qudit_cavity::circuit::sim::StatevectorSimulator;
+//!
+//! // A two-qutrit Bell-like state |00> + |11> + |22> via F_d and CSUM.
+//! let mut circuit = Circuit::new(vec![3, 3]);
+//! circuit.push(Gate::fourier(3), &[0]).unwrap();
+//! circuit.push(Gate::csum(3, 3), &[0, 1]).unwrap();
+//!
+//! let state = StatevectorSimulator::new().run(&circuit).unwrap();
+//! let p = state.probabilities();
+//! assert!((p[0] - 1.0 / 3.0).abs() < 1e-9);
+//! ```
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use cavity_sim as cavity;
+pub use lgt;
+pub use qopt;
+pub use qrc;
+pub use qudit_circuit as circuit;
+pub use qudit_compiler as compiler;
+pub use qudit_core as core;
+
+/// Workspace version string, useful for experiment provenance records.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");
