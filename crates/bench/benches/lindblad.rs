@@ -8,11 +8,7 @@ fn bench_reservoir_step(c: &mut Criterion) {
     let mut group = c.benchmark_group("reservoir_input_sample");
     group.sample_size(10);
     for levels in [3usize, 5, 7] {
-        let params = ReservoirParams {
-            levels,
-            substeps: 10,
-            ..ReservoirParams::paper_reference()
-        };
+        let params = ReservoirParams { levels, substeps: 10, ..ReservoirParams::paper_reference() };
         let reservoir = QuantumReservoir::new(params).expect("reservoir");
         let inputs = [0.3, -0.2, 0.1];
         group.bench_with_input(BenchmarkId::from_parameter(levels), &reservoir, |b, r| {

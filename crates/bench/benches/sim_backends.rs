@@ -26,7 +26,8 @@ fn bench_density_matrix(c: &mut Criterion) {
     for d in [3usize, 4] {
         let circuit = small_sqed_circuit(3, d, 1);
         group.bench_with_input(BenchmarkId::from_parameter(d), &circuit, |b, circuit| {
-            let sim = DensityMatrixSimulator::new().with_noise(NoiseModel::depolarizing(1e-3, 1e-2));
+            let sim =
+                DensityMatrixSimulator::new().with_noise(NoiseModel::depolarizing(1e-3, 1e-2));
             b.iter(|| sim.run(circuit).expect("run"));
         });
     }

@@ -1,0 +1,244 @@
+//! Kernel benchmark harness: times the PR-1 optimized simulation paths
+//! against the reconstructed pre-optimization baselines
+//! (see [`bench::baseline`]) on the Table-I `small_sqed_circuit` workload,
+//! prints a summary table and writes the numbers to `BENCH_1.json`.
+//!
+//! Run with `cargo run --release -p bench --bin bench_kernels`.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use bench::{baseline, print_table, small_sqed_circuit};
+use qudit_circuit::noise::NoiseModel;
+use qudit_circuit::sim::{StatevectorSimulator, TrajectorySimulator};
+use qudit_circuit::Observable;
+use qudit_core::density::DensityMatrix;
+use qudit_core::state::QuditState;
+
+/// Best-of-`reps` wall-clock seconds for one invocation of `f`.
+fn time_best(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+struct Entry {
+    name: &'static str,
+    detail: String,
+    baseline_s: Option<f64>,
+    optimized_s: f64,
+}
+
+impl Entry {
+    fn speedup(&self) -> Option<f64> {
+        self.baseline_s.map(|b| b / self.optimized_s)
+    }
+}
+
+fn main() {
+    let mut entries = Vec::new();
+
+    // Workload: 4-site truncated sQED chain at link dimension 4,
+    // two first-order Trotter steps (dim 4^4 = 256), as in the Table-I
+    // scaling family.
+    let (sites, d, steps) = (4usize, 4usize, 2usize);
+    let circuit = small_sqed_circuit(sites, d, steps);
+    let dim: usize = circuit.total_dim();
+    let noise = NoiseModel::depolarizing(1e-3, 1e-2);
+    let obs = Observable::number(1, d);
+
+    // --- Trajectory-averaged expectation, 64 trajectories, noisy. --------
+    let n_traj = 64;
+    let base_mean = baseline::trajectory_expectation(&circuit, &obs, n_traj, 7, &noise);
+    let opt_sim = TrajectorySimulator::new(n_traj).with_seed(7).with_noise(noise.clone());
+    let opt_mean = opt_sim.expectation(&circuit, &obs).unwrap().mean;
+    assert!(
+        (base_mean - opt_mean).abs() < 0.5,
+        "baseline and optimized trajectory means should be statistically compatible \
+         ({base_mean} vs {opt_mean})"
+    );
+    let baseline_s = time_best(3, || {
+        std::hint::black_box(baseline::trajectory_expectation(&circuit, &obs, n_traj, 7, &noise));
+    });
+    let optimized_s = time_best(3, || {
+        std::hint::black_box(opt_sim.expectation(&circuit, &obs).unwrap());
+    });
+    entries.push(Entry {
+        name: "trajectory_expectation",
+        detail: format!(
+            "{n_traj} trajectories, sQED {sites}x d={d}, {steps} Trotter steps, depolarizing noise"
+        ),
+        baseline_s: Some(baseline_s),
+        optimized_s,
+    });
+
+    // --- Deterministic sample_counts, 10k shots. -------------------------
+    let shots = 10_000;
+    let det_sim = StatevectorSimulator::with_seed(5);
+    let baseline_s = time_best(3, || {
+        // Seed semantics: one run, then a full probability-vector rebuild and
+        // O(dim) scan per shot.
+        let mut rng = StdRng::seed_from_u64(6);
+        let state = baseline::run_statevector(&circuit, &NoiseModel::noiseless(), &mut rng);
+        let mut counts: HashMap<Vec<usize>, usize> = HashMap::new();
+        let mut shot_rng = StdRng::seed_from_u64(5u64.wrapping_add(1));
+        for _ in 0..shots {
+            let digits = state.sample(&mut shot_rng);
+            *counts.entry(digits).or_insert(0) += 1;
+        }
+        std::hint::black_box(counts);
+    });
+    let optimized_s = time_best(3, || {
+        std::hint::black_box(det_sim.sample_counts(&circuit, shots).unwrap());
+    });
+    entries.push(Entry {
+        name: "sample_counts_deterministic",
+        detail: format!("{shots} shots, dim {dim}"),
+        baseline_s: Some(baseline_s),
+        optimized_s,
+    });
+
+    // --- Raw shot sampler on a spread-out state (CDF + binary search). ---
+    // A Haar-random state has no dominant outcome, so the seed's linear scan
+    // pays its average dim/2 iterations per shot (on the sQED state the mass
+    // sits near index 0 and the scan exits immediately, hiding the cost).
+    let spread_state = {
+        let mut rng = StdRng::seed_from_u64(2);
+        qudit_core::random::haar_state(&mut rng, circuit.dims().to_vec()).unwrap()
+    };
+    let baseline_s = time_best(5, || {
+        let mut rng = StdRng::seed_from_u64(11);
+        std::hint::black_box(baseline::sample_counts(&spread_state, &mut rng, shots));
+    });
+    let optimized_s = time_best(5, || {
+        let mut rng = StdRng::seed_from_u64(11);
+        std::hint::black_box(spread_state.sample_counts(&mut rng, shots));
+    });
+    entries.push(Entry {
+        name: "state_sample_counts",
+        detail: format!(
+            "{shots} shots, dim {dim}, Haar-random state, linear scan vs CDF binary search"
+        ),
+        baseline_s: Some(baseline_s),
+        optimized_s,
+    });
+
+    // --- Single noiseless Trotter evolution (gate kernels only). ---------
+    let baseline_s = time_best(5, || {
+        let mut rng = StdRng::seed_from_u64(1);
+        std::hint::black_box(baseline::run_statevector(
+            &circuit,
+            &NoiseModel::noiseless(),
+            &mut rng,
+        ));
+    });
+    let sv = StatevectorSimulator::new();
+    let optimized_s = time_best(5, || {
+        std::hint::black_box(sv.run(&circuit).unwrap());
+    });
+    entries.push(Entry {
+        name: "statevector_run",
+        detail: format!("sQED {sites}x d={d}, {steps} Trotter steps, dim {dim}"),
+        baseline_s: Some(baseline_s),
+        optimized_s,
+    });
+
+    // --- Measurement kernel on an entangled state. -----------------------
+    let ghz = {
+        let mut c = qudit_circuit::Circuit::uniform(4, 3);
+        c.push(qudit_circuit::Gate::fourier(3), &[0]).unwrap();
+        for q in 0..3 {
+            c.push(qudit_circuit::Gate::csum(3, 3), &[q, q + 1]).unwrap();
+        }
+        StatevectorSimulator::new().run(&c).unwrap()
+    };
+    let baseline_s = time_best(5, || {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..200 {
+            let mut s = ghz.clone();
+            std::hint::black_box(baseline::measure(&mut s, &[1, 2], &mut rng));
+        }
+    });
+    let optimized_s = time_best(5, || {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..200 {
+            let mut s = ghz.clone();
+            std::hint::black_box(s.measure(&[1, 2], &mut rng).unwrap());
+        }
+    });
+    entries.push(Entry {
+        name: "measure_collapse",
+        detail: "200 two-qudit measurements on a 4-qutrit GHZ state".into(),
+        baseline_s: Some(baseline_s),
+        optimized_s,
+    });
+
+    // --- Absolute-only timings to seed the perf trajectory. --------------
+    let rho_dim = 6;
+    let optimized_s = time_best(3, || {
+        let mut sys = cavity_sim::lindblad::LindbladSystem::new(vec![rho_dim, rho_dim]).unwrap();
+        let a = qudit_circuit::gates::annihilation(rho_dim);
+        let hop = a.dagger().kron(&a);
+        let hop_dag = hop.dagger();
+        sys.add_hamiltonian_term(&(&hop + &hop_dag), &[0, 1], 1.0).unwrap();
+        sys.add_collapse(&a, &[0], 0.2).unwrap();
+        sys.add_collapse(&a, &[1], 0.2).unwrap();
+        let mut rho =
+            DensityMatrix::from_pure(&QuditState::basis(vec![rho_dim, rho_dim], &[2, 0]).unwrap());
+        sys.evolve(&mut rho, 0.5, 0.01).unwrap();
+        std::hint::black_box(rho);
+    });
+    entries.push(Entry {
+        name: "lindblad_evolve",
+        detail: format!("two d={rho_dim} modes, 50 RK4 steps (cached L\u{2020}L)"),
+        baseline_s: None,
+        optimized_s,
+    });
+
+    // --- Report. ---------------------------------------------------------
+    let rows: Vec<Vec<String>> = entries
+        .iter()
+        .map(|e| {
+            vec![
+                e.name.to_string(),
+                e.baseline_s.map_or("-".into(), |b| format!("{:.1}", b * 1e3)),
+                format!("{:.1}", e.optimized_s * 1e3),
+                e.speedup().map_or("-".into(), |s| format!("{s:.2}x")),
+            ]
+        })
+        .collect();
+    print_table(
+        "PR 1 kernel benchmarks (best-of-N wall clock)",
+        &["kernel", "baseline ms", "optimized ms", "speedup"],
+        &rows,
+    );
+
+    // --- BENCH_1.json (hand-rolled: no JSON dependency offline). ---------
+    let mut json = String::from("{\n  \"bench\": 1,\n");
+    json.push_str(&format!(
+        "  \"workload\": {{\"circuit\": \"small_sqed_circuit\", \"sites\": {sites}, \"link_dim\": {d}, \"trotter_steps\": {steps}, \"dim\": {dim}}},\n"
+    ));
+    json.push_str(&format!("  \"threads\": {},\n", qudit_core::par::max_threads()));
+    json.push_str("  \"results\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"detail\": \"{}\", \"baseline_ms\": {}, \"optimized_ms\": {:.3}, \"speedup\": {}}}{}\n",
+            e.name,
+            e.detail,
+            e.baseline_s.map_or("null".into(), |b| format!("{:.3}", b * 1e3)),
+            e.optimized_s * 1e3,
+            e.speedup().map_or("null".into(), |s| format!("{s:.2}")),
+            if i + 1 < entries.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_1.json", &json).expect("write BENCH_1.json");
+    println!("\nwrote BENCH_1.json");
+}

@@ -36,7 +36,13 @@ fn main() {
     }
     print_table(
         "Experiment B1 — synthesis of the QAOA colour mixer exp(-i 0.6 H_mix)",
-        &["d", "SNAP+disp fidelity (6 layers)", "optimiser iterations", "numerical cost", "exact Givens alternative"],
+        &[
+            "d",
+            "SNAP+disp fidelity (6 layers)",
+            "optimiser iterations",
+            "numerical cost",
+            "exact Givens alternative",
+        ],
         &rows,
     );
 

@@ -17,11 +17,7 @@ fn main() {
     // C3 — performance vs reservoir size (levels per mode).
     let mut rows = Vec::new();
     for levels in [3usize, 5, 7, 9] {
-        let params = ReservoirParams {
-            levels,
-            substeps: 12,
-            ..ReservoirParams::paper_reference()
-        };
+        let params = ReservoirParams { levels, substeps: 12, ..ReservoirParams::paper_reference() };
         let eval_narma = evaluate_quantum(&params, &narma, 0.7, 1e-4).expect("NARMA evaluation");
         let eval_mackey = evaluate_quantum(&params, &mackey, 0.7, 1e-4).expect("MG evaluation");
         rows.push(vec![
@@ -34,7 +30,13 @@ fn main() {
     }
     print_table(
         "Experiment C3 — quantum reservoir: test NMSE vs effective neuron count",
-        &["modes × levels", "effective neurons (d^m)", "readout features", "NARMA-5 NMSE", "Mackey-Glass NMSE"],
+        &[
+            "modes × levels",
+            "effective neurons (d^m)",
+            "readout features",
+            "NARMA-5 NMSE",
+            "Mackey-Glass NMSE",
+        ],
         &rows,
     );
 

@@ -28,7 +28,10 @@ fn main() {
         for (_, strategy) in &strategies {
             let est = estimate_resources(*name, circuit, &device, *strategy).expect("estimate");
             fidelities.push(est.estimated_fidelity);
-            row.push(format!("{:.4} ({} swaps, {:.0} µs)", est.estimated_fidelity, est.swap_count, est.total_duration_us));
+            row.push(format!(
+                "{:.4} ({} swaps, {:.0} µs)",
+                est.estimated_fidelity, est.swap_count, est.total_duration_us
+            ));
         }
         let gain = fidelities[0] / fidelities[1].max(1e-12);
         row.push(format!("{gain:.2}x"));

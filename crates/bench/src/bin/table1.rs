@@ -12,18 +12,31 @@ use qudit_compiler::resource::estimate_resources;
 
 fn main() {
     let device = Device::forecast();
-    println!("Device: {} — {} modes, ≈{:.0} equivalent qubits", device.name, device.num_modes(), device.equivalent_qubits());
+    println!(
+        "Device: {} — {} modes, ≈{:.0} equivalent qubits",
+        device.name,
+        device.num_modes(),
+        device.equivalent_qubits()
+    );
 
     let mut rows = Vec::new();
 
     // Row 1 — sQED simulation: 9×2 lattice, d = 4, one Trotter step.
     let sqed = table1_sqed_circuit(4, 1);
-    let est = estimate_resources("sQED 2D lattice Ns=9x2, d=4", &sqed, &device, MappingStrategy::NoiseAware)
-        .expect("sQED estimate");
+    let est = estimate_resources(
+        "sQED 2D lattice Ns=9x2, d=4",
+        &sqed,
+        &device,
+        MappingStrategy::NoiseAware,
+    )
+    .expect("sQED estimate");
     rows.push(vec![
         "Simulation (sQED, per Trotter step)".to_string(),
         format!("{} qudits (d=4)", est.logical_qudits),
-        format!("{} gates / {} entangling / {} swaps", est.gate_count, est.entangling_gate_count, est.swap_count),
+        format!(
+            "{} gates / {} entangling / {} swaps",
+            est.gate_count, est.entangling_gate_count, est.swap_count
+        ),
         format!("{:.1} µs", est.total_duration_us),
         format!("{:.3}", est.estimated_fidelity),
         format!("{:.4}", est.duration_over_t1),
@@ -32,8 +45,13 @@ fn main() {
 
     // Row 2 — Coloring optimisation: NDAR-QAOA, 3 colors, N = 9.
     let coloring = table1_coloring_circuit(9, 7);
-    let est = estimate_resources("NDAR-QAOA 3-coloring N=9", &coloring, &device, MappingStrategy::NoiseAware)
-        .expect("coloring estimate");
+    let est = estimate_resources(
+        "NDAR-QAOA 3-coloring N=9",
+        &coloring,
+        &device,
+        MappingStrategy::NoiseAware,
+    )
+    .expect("coloring estimate");
     let qrac_qudits = QracSolver::new(
         bench::table1_coloring_problem(50, 11),
         QracConfig { nodes_per_qudit: 2, ..Default::default() },
@@ -43,7 +61,10 @@ fn main() {
     rows.push(vec![
         "Optimization (3-coloring, QAOA p=1)".to_string(),
         format!("{} qudits (d=3); 50 nodes via QRAC on {qrac_qudits}", est.logical_qudits),
-        format!("{} gates / {} entangling / {} swaps", est.gate_count, est.entangling_gate_count, est.swap_count),
+        format!(
+            "{} gates / {} entangling / {} swaps",
+            est.gate_count, est.entangling_gate_count, est.swap_count
+        ),
         format!("{:.1} µs", est.total_duration_us),
         format!("{:.3}", est.estimated_fidelity),
         format!("{:.4}", est.duration_over_t1),

@@ -2,6 +2,8 @@
 //! benchmarks: the three Table-I application circuits and common reporting
 //! helpers.
 
+pub mod baseline;
+
 use lgt::hamiltonian::{sqed_chain, SqedParams};
 use lgt::trotter::{trotter_circuit, TrotterOrder};
 use qopt::graph::{ColoringProblem, Graph};

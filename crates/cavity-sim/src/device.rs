@@ -136,7 +136,8 @@ impl Device {
     /// A small present-day testbed: 2 cavities × 2 modes, d = 4,
     /// T1 ≈ 500–900 µs.
     pub fn testbed() -> Self {
-        let mk = |t1: f64, f: f64| ModeParams { dim: 4, t1_us: t1, t2_us: 1.3 * t1, frequency_ghz: f };
+        let mk =
+            |t1: f64, f: f64| ModeParams { dim: 4, t1_us: t1, t2_us: 1.3 * t1, frequency_ghz: f };
         Self {
             modules: vec![
                 CavityModule {
@@ -195,11 +196,7 @@ impl Device {
     /// Total Hilbert-space dimension of the machine (`Π d_i`), as a log10 so
     /// it does not overflow for the forecast device.
     pub fn log10_hilbert_dim(&self) -> f64 {
-        self.modules
-            .iter()
-            .flat_map(|m| m.modes.iter())
-            .map(|mode| (mode.dim as f64).log10())
-            .sum()
+        self.modules.iter().flat_map(|m| m.modes.iter()).map(|mode| (mode.dim as f64).log10()).sum()
     }
 
     /// Equivalent number of qubits: `log2(Π d_i)`.

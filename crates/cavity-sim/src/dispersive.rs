@@ -57,11 +57,8 @@ pub fn dispersive_hamiltonian(
     // Detuning term.
     let mut h = n_c.kron(&id_t).scaled_real(two_pi * params.detuning_mhz);
     // Dispersive coupling χ n_c ⊗ n_t.
-    h.axpy(
-        qudit_core::complex::c64(two_pi * params.chi_mhz, 0.0),
-        &n_c.kron(&n_t),
-    )
-    .expect("same shape");
+    h.axpy(qudit_core::complex::c64(two_pi * params.chi_mhz, 0.0), &n_c.kron(&n_t))
+        .expect("same shape");
     // Self-Kerr (K/2) n_c(n_c - 1).
     let n2 = n_c.matmul(&n_c).expect("square");
     let mut kerr = n2;

@@ -62,9 +62,10 @@ mod tests {
     fn conversions_and_display() {
         let e: CavityError = CoreError::InvalidDimension(0).into();
         assert!(e.to_string().contains("core error"));
-        let e: CavityError =
-            qudit_circuit::CircuitError::InvalidGate("bad".into()).into();
+        let e: CavityError = qudit_circuit::CircuitError::InvalidGate("bad".into()).into();
         assert!(e.to_string().contains("circuit error"));
-        assert!(CavityError::InvalidParameter("x".into()).to_string().contains("invalid parameter"));
+        assert!(CavityError::InvalidParameter("x".into())
+            .to_string()
+            .contains("invalid parameter"));
     }
 }

@@ -81,12 +81,7 @@ pub fn thermal_density(d: usize, nbar: f64) -> Result<CMatrix> {
 
 /// Mean photon number of a single-mode state.
 pub fn mean_photon_number(state: &QuditState) -> f64 {
-    state
-        .amplitudes()
-        .iter()
-        .enumerate()
-        .map(|(n, a)| n as f64 * a.norm_sqr())
-        .sum()
+    state.amplitudes().iter().enumerate().map(|(n, a)| n as f64 * a.norm_sqr()).sum()
 }
 
 /// Photon-number distribution of a single-mode state.
@@ -107,12 +102,8 @@ mod tests {
         let n_mean = mean_photon_number(&s);
         assert!((n_mean - alpha.norm_sqr()).abs() < 1e-6);
         // Variance equals the mean for a Poisson distribution.
-        let n2: f64 = s
-            .amplitudes()
-            .iter()
-            .enumerate()
-            .map(|(n, a)| (n * n) as f64 * a.norm_sqr())
-            .sum();
+        let n2: f64 =
+            s.amplitudes().iter().enumerate().map(|(n, a)| (n * n) as f64 * a.norm_sqr()).sum();
         let var = n2 - n_mean * n_mean;
         assert!((var - n_mean).abs() < 1e-4);
     }

@@ -15,13 +15,26 @@ use qudit_core::radix::{embed_operator, Radix};
 
 use crate::error::{CavityError, Result};
 
+/// A collapse operator with its adjoint products precomputed: the RK4
+/// right-hand side evaluates every dissipator four times per step, so `L†`
+/// and `L†L` are cached at registration time instead of being rebuilt
+/// (two matrix products and a transpose per evaluation) inside the
+/// integration loop.
+#[derive(Debug, Clone)]
+struct CollapseOp {
+    l: CMatrix,
+    l_dag: CMatrix,
+    ldag_l: CMatrix,
+    rate: f64,
+}
+
 /// An open quantum system: Hamiltonian plus weighted collapse operators on a
 /// mixed-radix register of modes.
 #[derive(Debug, Clone)]
 pub struct LindbladSystem {
     radix: Radix,
     hamiltonian: CMatrix,
-    collapse: Vec<(CMatrix, f64)>,
+    collapse: Vec<CollapseOp>,
 }
 
 impl LindbladSystem {
@@ -102,7 +115,9 @@ impl LindbladSystem {
             return Ok(self);
         }
         let full = embed_operator(&self.radix, op, targets).map_err(CavityError::Core)?;
-        self.collapse.push((full, rate));
+        let l_dag = full.dagger();
+        let ldag_l = l_dag.matmul(&full).map_err(CavityError::Core)?;
+        self.collapse.push(CollapseOp { l: full, l_dag, ldag_l, rate });
         Ok(self)
     }
 
@@ -110,25 +125,31 @@ impl LindbladSystem {
     /// optional extra (time-dependent drive) Hamiltonian.
     fn rhs(&self, rho: &CMatrix, extra_h: Option<&CMatrix>) -> CMatrix {
         let n = rho.rows();
-        let mut h = self.hamiltonian.clone();
-        if let Some(extra) = extra_h {
-            h.axpy(Complex64::ONE, extra).expect("same shape");
-        }
-        // −i[H, ρ]
-        let hr = h.matmul(rho).expect("square");
-        let rh = rho.matmul(&h).expect("square");
-        let mut out = (&hr - &rh).scaled(c64(0.0, -1.0));
-        // Dissipators.
-        for (l, rate) in &self.collapse {
-            let l_rho = l.matmul(rho).expect("square");
-            let l_rho_ldag = l_rho.matmul(&l.dagger()).expect("square");
-            let ldag_l = l.dagger().matmul(l).expect("square");
-            let anti_1 = ldag_l.matmul(rho).expect("square");
-            let anti_2 = rho.matmul(&ldag_l).expect("square");
+        // −i[H, ρ], without cloning H when there is no drive term.
+        let mut out = match extra_h {
+            Some(extra) => {
+                let mut h = self.hamiltonian.clone();
+                h.axpy(Complex64::ONE, extra).expect("same shape");
+                let hr = h.matmul(rho).expect("square");
+                let rh = rho.matmul(&h).expect("square");
+                (&hr - &rh).scaled(c64(0.0, -1.0))
+            }
+            None => {
+                let hr = self.hamiltonian.matmul(rho).expect("square");
+                let rh = rho.matmul(&self.hamiltonian).expect("square");
+                (&hr - &rh).scaled(c64(0.0, -1.0))
+            }
+        };
+        // Dissipators, using the cached L† and L†L.
+        for c in &self.collapse {
+            let l_rho = c.l.matmul(rho).expect("square");
+            let l_rho_ldag = l_rho.matmul(&c.l_dag).expect("square");
+            let anti_1 = c.ldag_l.matmul(rho).expect("square");
+            let anti_2 = rho.matmul(&c.ldag_l).expect("square");
             let mut dissipator = l_rho_ldag;
             dissipator.axpy(c64(-0.5, 0.0), &anti_1).expect("same shape");
             dissipator.axpy(c64(-0.5, 0.0), &anti_2).expect("same shape");
-            out.axpy(c64(*rate, 0.0), &dissipator).expect("same shape");
+            out.axpy(c64(c.rate, 0.0), &dissipator).expect("same shape");
         }
         debug_assert_eq!(out.rows(), n);
         out
@@ -253,8 +274,7 @@ mod tests {
         let hop = a.dagger().kron(&a);
         let hop_dag = hop.dagger();
         sys.add_hamiltonian_term(&(&hop + &hop_dag), &[0, 1], g).unwrap();
-        let mut rho =
-            DensityMatrix::from_pure(&QuditState::basis(vec![d, d], &[1, 0]).unwrap());
+        let mut rho = DensityMatrix::from_pure(&QuditState::basis(vec![d, d], &[1, 0]).unwrap());
         // At t = π/(2g) the photon has fully transferred to mode 1.
         sys.evolve(&mut rho, std::f64::consts::FRAC_PI_2 / g, 0.001).unwrap();
         let n0 = rho.expectation(&gates::number_operator(d), &[0]).unwrap().re;

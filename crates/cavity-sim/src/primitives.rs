@@ -220,7 +220,9 @@ mod tests {
         assert!((bs.duration_on(&dev, &[0, 1]).unwrap() - 2.0).abs() < 1e-12);
 
         let csum = Primitive::Csum;
-        assert!(csum.duration_on(&dev, &[0, 1]).unwrap() < csum.duration_on(&dev, &[1, 2]).unwrap());
+        assert!(
+            csum.duration_on(&dev, &[0, 1]).unwrap() < csum.duration_on(&dev, &[1, 2]).unwrap()
+        );
     }
 
     #[test]
@@ -237,7 +239,9 @@ mod tests {
     fn schedule_aggregates_cost() {
         let dev = Device::testbed();
         let mut sched = PrimitiveSchedule::new();
-        sched.push(Primitive::Displacement { alpha_re: 0.5, alpha_im: 0.0 }.bind(&dev, &[0]).unwrap());
+        sched.push(
+            Primitive::Displacement { alpha_re: 0.5, alpha_im: 0.0 }.bind(&dev, &[0]).unwrap(),
+        );
         sched.push(Primitive::Snap { phases: vec![0.0, 0.5, 1.0, 1.5] }.bind(&dev, &[0]).unwrap());
         sched.push(Primitive::Csum.bind(&dev, &[0, 1]).unwrap());
         assert_eq!(sched.ops.len(), 3);
@@ -263,9 +267,7 @@ mod tests {
             Primitive::Displacement { alpha_re: 1.0, alpha_im: 0.0 }.bind(&dev, &[0]).unwrap(),
         );
         sched.push(Primitive::Csum.bind(&dev, &[0, 1]).unwrap());
-        let circuit = sched
-            .to_noisy_circuit(&dev, &[4, 4], &|m| m)
-            .unwrap();
+        let circuit = sched.to_noisy_circuit(&dev, &[4, 4], &|m| m).unwrap();
         assert!(circuit.gate_count() >= 2);
         let rho = DensityMatrixSimulator::new().run(&circuit).unwrap();
         let n = Observable::number(0, 4).expectation_density(&rho).unwrap();

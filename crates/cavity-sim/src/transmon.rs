@@ -28,13 +28,7 @@ impl TransmonParams {
     /// A representative present-day transmon used in SQMS-style cavity
     /// experiments (T1 ≈ 100 µs, T2 ≈ 80 µs, α ≈ −200 MHz).
     pub fn typical() -> Self {
-        Self {
-            frequency_ghz: 5.0,
-            anharmonicity_mhz: -200.0,
-            t1_us: 100.0,
-            t2_us: 80.0,
-            levels: 3,
-        }
+        Self { frequency_ghz: 5.0, anharmonicity_mhz: -200.0, t1_us: 100.0, t2_us: 80.0, levels: 3 }
     }
 
     /// An optimistic near-term transmon (T1 ≈ 300 µs) matching the paper's
@@ -129,7 +123,8 @@ mod tests {
     fn forecast_is_better_than_typical() {
         assert!(TransmonParams::forecast().t1_us > TransmonParams::typical().t1_us);
         assert!(
-            TransmonParams::forecast().error_during(1.0) < TransmonParams::typical().error_during(1.0)
+            TransmonParams::forecast().error_during(1.0)
+                < TransmonParams::typical().error_during(1.0)
         );
     }
 }

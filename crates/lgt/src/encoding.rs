@@ -143,11 +143,8 @@ fn encode_binary(h: &LatticeHamiltonian) -> Result<EncodedModel> {
     let mut terms = Vec::with_capacity(h.terms.len());
     for term in &h.terms {
         let site_dims: Vec<usize> = term.targets.iter().map(|&t| h.dims[t]).collect();
-        let carrier_targets: Vec<usize> = term
-            .targets
-            .iter()
-            .flat_map(|&t| site_to_carriers[t].iter().copied())
-            .collect();
+        let carrier_targets: Vec<usize> =
+            term.targets.iter().flat_map(|&t| site_to_carriers[t].iter().copied()).collect();
         let op = embed_in_binary(&term.op, &site_dims)?;
         terms.push(HamiltonianTerm {
             label: term.label.clone(),
@@ -256,12 +253,7 @@ mod tests {
         assert!(enc.hamiltonian.dims.iter().all(|&d| d == 2));
         assert_eq!(enc.site_to_carriers[1], vec![2, 3]);
         // Two-site hopping terms now touch 4 qubits.
-        let hop = enc
-            .hamiltonian
-            .terms
-            .iter()
-            .find(|t| t.label.starts_with("hopping"))
-            .unwrap();
+        let hop = enc.hamiltonian.terms.iter().find(|t| t.label.starts_with("hopping")).unwrap();
         assert_eq!(hop.targets.len(), 4);
         assert_eq!(hop.op.rows(), 16);
     }
@@ -290,7 +282,7 @@ mod tests {
         assert!(emb.is_hermitian(1e-12));
         // The (|m=+1, m=0⟩ ↔ |m=0, m=+1⟩) element survives: qudit digits (2,1)↔(1,2)
         // map to padded indices 2*4+1=9 and 1*4+2=6.
-        assert!((emb[(6, 9)] - op[(1 * 3 + 2, 2 * 3 + 1)]).abs() < 1e-12);
+        assert!((emb[(6, 9)] - op[(3 + 2, 2 * 3 + 1)]).abs() < 1e-12);
     }
 
     #[test]

@@ -95,8 +95,7 @@ pub fn noise_sweep(config: &ThresholdConfig, encoding: Encoding) -> Result<Noise
     let mut circuits = Vec::with_capacity(config.protocol.num_samples);
     for k in 1..=config.protocol.num_samples {
         let t = config.protocol.total_time * k as f64 / config.protocol.num_samples as f64;
-        let steps =
-            ((config.protocol.steps_per_unit_time as f64 * t).ceil() as usize).max(1);
+        let steps = ((config.protocol.steps_per_unit_time as f64 * t).ceil() as usize).max(1);
         let circuit = trotter_circuit(&encoded.hamiltonian, t, steps, config.protocol.order)?;
         let reference = sv.run_from(&circuit, &initial).map_err(LgtError::Circuit)?.state;
         references.push(reference);

@@ -80,13 +80,7 @@ impl LatticeHamiltonian {
         let eig = qudit_core::linalg::eigh(&h).map_err(LgtError::Core)?;
         let e0 = eig.values[0];
         // First excitation above numerical degeneracy.
-        let gap = eig
-            .values
-            .iter()
-            .skip(1)
-            .map(|&e| e - e0)
-            .find(|&g| g > 1e-9)
-            .unwrap_or(0.0);
+        let gap = eig.values.iter().skip(1).map(|&e| e - e0).find(|&g| g > 1e-9).unwrap_or(0.0);
         Ok((e0, gap))
     }
 }
@@ -163,11 +157,7 @@ pub fn sqed_chain(params: &SqedParams) -> Result<LatticeHamiltonian> {
             targets: vec![a, b],
         });
     }
-    Ok(LatticeHamiltonian {
-        dims: vec![d; n],
-        terms,
-        name: format!("sQED chain Ns={n} d={d}"),
-    })
+    Ok(LatticeHamiltonian { dims: vec![d; n], terms, name: format!("sQED chain Ns={n} d={d}") })
 }
 
 /// Parameters of the (2+1)D pure-gauge U(1) rotor model on a rectangular
@@ -266,8 +256,7 @@ mod tests {
     #[test]
     fn sqed_periodic_adds_wraparound_bond() {
         let open = sqed_chain(&SqedParams::default()).unwrap();
-        let periodic =
-            sqed_chain(&SqedParams { periodic: true, ..SqedParams::default() }).unwrap();
+        let periodic = sqed_chain(&SqedParams { periodic: true, ..SqedParams::default() }).unwrap();
         assert_eq!(periodic.two_site_term_count(), open.two_site_term_count() + 1);
     }
 

@@ -44,7 +44,12 @@ pub struct DynamicsProtocol {
 
 impl Default for DynamicsProtocol {
     fn default() -> Self {
-        Self { total_time: 6.0, num_samples: 12, steps_per_unit_time: 4, order: TrotterOrder::Second }
+        Self {
+            total_time: 6.0,
+            num_samples: 12,
+            steps_per_unit_time: 4,
+            order: TrotterOrder::Second,
+        }
     }
 }
 
@@ -225,11 +230,7 @@ mod tests {
         let result = run_dynamics(&h, 1, &protocol, &NoiseModel::noiseless()).unwrap();
         assert_eq!(result.signal.len(), 11);
         // The signal must actually move (the excitation disperses).
-        let spread = result
-            .signal
-            .iter()
-            .cloned()
-            .fold(f64::NEG_INFINITY, f64::max)
+        let spread = result.signal.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
             - result.signal.iter().cloned().fold(f64::INFINITY, f64::min);
         assert!(spread > 0.05, "signal spread {spread}");
         // The extracted frequency lands within the span of the exact spectrum.
@@ -250,8 +251,7 @@ mod tests {
             order: TrotterOrder::First,
         };
         let clean = run_dynamics(&h, 1, &protocol, &NoiseModel::noiseless()).unwrap();
-        let noisy =
-            run_dynamics(&h, 1, &protocol, &NoiseModel::depolarizing(0.02, 0.02)).unwrap();
+        let noisy = run_dynamics(&h, 1, &protocol, &NoiseModel::depolarizing(0.02, 0.02)).unwrap();
         let deviation = relative_rms_deviation(&clean.signal, &noisy.signal);
         assert!(deviation > 0.01, "deviation {deviation}");
     }

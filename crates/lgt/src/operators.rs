@@ -62,7 +62,7 @@ pub fn zz_coupling(d: usize) -> CMatrix {
 /// Staggered-mass single-site term `(−1)^site · L̂z` is built by the caller;
 /// this helper returns the alternating sign.
 pub fn staggered_sign(site: usize) -> f64 {
-    if site % 2 == 0 {
+    if site.is_multiple_of(2) {
         1.0
     } else {
         -1.0

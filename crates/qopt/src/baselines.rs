@@ -47,10 +47,7 @@ pub fn greedy_coloring(problem: &ColoringProblem) -> Vec<usize> {
         let mut best_color = 0;
         let mut best_conflicts = usize::MAX;
         for c in 0..k {
-            let conflicts = neighbors
-                .iter()
-                .filter(|&&u| assignment[u] == Some(c))
-                .count();
+            let conflicts = neighbors.iter().filter(|&&u| assignment[u] == Some(c)).count();
             if conflicts < best_conflicts {
                 best_conflicts = conflicts;
                 best_color = c;
@@ -62,11 +59,7 @@ pub fn greedy_coloring(problem: &ColoringProblem) -> Vec<usize> {
 }
 
 /// Simulated annealing on single-node colour flips.
-pub fn simulated_annealing(
-    problem: &ColoringProblem,
-    iterations: usize,
-    seed: u64,
-) -> Vec<usize> {
+pub fn simulated_annealing(problem: &ColoringProblem, iterations: usize, seed: u64) -> Vec<usize> {
     let mut rng = StdRng::seed_from_u64(seed);
     let n = problem.graph.num_nodes();
     let k = problem.colors;

@@ -216,11 +216,7 @@ impl ColoringProblem {
     /// Panics if the assignment is shorter than the node count (programming
     /// error).
     pub fn properly_colored(&self, assignment: &[usize]) -> usize {
-        self.graph
-            .edges()
-            .iter()
-            .filter(|&&(a, b)| assignment[a] != assignment[b])
-            .count()
+        self.graph.edges().iter().filter(|&&(a, b)| assignment[a] != assignment[b]).count()
     }
 
     /// Number of conflicting (monochromatic) edges.

@@ -81,10 +81,10 @@ pub fn run_ndar(
             noise,
             config.shots_per_round,
         )?;
-        for (assignment, value) in samples.into_iter().chain(std::iter::once((
-            outcome.best_assignment.clone(),
-            outcome.best_value,
-        ))) {
+        for (assignment, value) in samples
+            .into_iter()
+            .chain(std::iter::once((outcome.best_assignment.clone(), outcome.best_value)))
+        {
             if value > best_value {
                 best_value = value;
                 best_assignment = assignment;
@@ -92,21 +92,13 @@ pub fn run_ndar(
         }
         best_per_round.push(best_value);
     }
-    Ok(NdarResult {
-        best_assignment,
-        best_value,
-        best_value_per_round: best_per_round,
-        adaptive,
-    })
+    Ok(NdarResult { best_assignment, best_value, best_value_per_round: best_per_round, adaptive })
 }
 
 /// Builds the per-node gauge that maps physical level 0 to the incumbent's
 /// colour on that node (and cyclically relabels the rest).
 pub fn gauge_for_incumbent(assignment: &[usize], colors: usize) -> Vec<Vec<usize>> {
-    assignment
-        .iter()
-        .map(|&c| (0..colors).map(|l| (c + l) % colors).collect())
-        .collect()
+    assignment.iter().map(|&c| (0..colors).map(|l| (c + l) % colors).collect()).collect()
 }
 
 #[cfg(test)]
@@ -155,10 +147,7 @@ mod tests {
             assert!(w[1] >= w[0]);
         }
         assert!(result.adaptive);
-        assert_eq!(
-            result.best_value,
-            *result.best_value_per_round.last().unwrap()
-        );
+        assert_eq!(result.best_value, *result.best_value_per_round.last().unwrap());
     }
 
     #[test]

@@ -98,7 +98,7 @@ mod tests {
 
     #[test]
     fn grid_then_ascent_composes() {
-        let f = |x: &[f64]| (x[0].sin() + (2.0 * x[1]).cos()) as f64;
+        let f = |x: &[f64]| x[0].sin() + (2.0 * x[1]).cos();
         let (x0, _) = grid_search(2, 0.0, 3.0, 5, f);
         let (_, best) = coordinate_ascent(&x0, f, 100, 0.2);
         assert!(best > 1.9);

@@ -190,12 +190,7 @@ impl QuditQaoa {
     ///
     /// # Errors
     /// Returns an error if simulation fails.
-    pub fn expected_value(
-        &self,
-        gammas: &[f64],
-        betas: &[f64],
-        noise: &NoiseModel,
-    ) -> Result<f64> {
+    pub fn expected_value(&self, gammas: &[f64], betas: &[f64], noise: &NoiseModel) -> Result<f64> {
         let circuit = self.circuit(gammas, betas)?;
         let distribution = if noise.is_noiseless() {
             StatevectorSimulator::with_seed(self.config.seed)
@@ -320,7 +315,8 @@ mod tests {
 
     #[test]
     fn circuit_structure_counts() {
-        let qaoa = QuditQaoa::new(triangle_problem(), QaoaConfig { layers: 2, ..Default::default() });
+        let qaoa =
+            QuditQaoa::new(triangle_problem(), QaoaConfig { layers: 2, ..Default::default() });
         let c = qaoa.circuit(&[0.3, 0.2], &[0.4, 0.1]).unwrap();
         // 3 Fourier + per layer (3 edges + 3 mixers) × 2 layers.
         assert_eq!(c.gate_count(), 3 + 2 * 6);
@@ -377,10 +373,9 @@ mod tests {
             triangle_problem(),
             QaoaConfig { layers: 1, trajectories: 60, ..Default::default() },
         );
-        let clean = qaoa.expected_value(&[0.6, ], &[0.4], &NoiseModel::noiseless()).unwrap();
-        let noisy = qaoa
-            .expected_value(&[0.6], &[0.4], &NoiseModel::depolarizing(0.05, 0.1))
-            .unwrap();
+        let clean = qaoa.expected_value(&[0.6], &[0.4], &NoiseModel::noiseless()).unwrap();
+        let noisy =
+            qaoa.expected_value(&[0.6], &[0.4], &NoiseModel::depolarizing(0.05, 0.1)).unwrap();
         // Depolarising noise pushes the distribution towards uniform (value 2.0),
         // so a better-than-random clean value must degrade.
         if clean > 2.1 {

@@ -137,10 +137,8 @@ impl QracSolver {
             .collect();
         let mut best_value = self.problem.properly_colored(&best_assignment);
         for _ in 0..self.config.rounding_samples {
-            let candidate: Vec<usize> = marginals
-                .iter()
-                .map(|probs| sample_from(probs, &mut rng))
-                .collect();
+            let candidate: Vec<usize> =
+                marginals.iter().map(|probs| sample_from(probs, &mut rng)).collect();
             let value = self.problem.properly_colored(&candidate);
             if value > best_value {
                 best_value = value;
@@ -167,8 +165,7 @@ impl QracSolver {
                 0 => state.iter().map(|a| a.norm_sqr()).collect(),
                 _ => {
                     // Fourier-basis readout: probabilities of F†|ψ⟩.
-                    let rotated =
-                        fourier.dagger().matvec(state).map_err(QoptError::Core)?;
+                    let rotated = fourier.dagger().matvec(state).map_err(QoptError::Core)?;
                     rotated.iter().map(|a| a.norm_sqr()).collect()
                 }
             };
@@ -235,11 +232,9 @@ mod tests {
         let problem = ColoringProblem::new(g, 3).unwrap();
         let solver = QracSolver::new(problem.clone(), QracConfig::default()).unwrap();
         assert_eq!(solver.qudits_used(), 5);
-        let single = QracSolver::new(
-            problem,
-            QracConfig { nodes_per_qudit: 1, ..Default::default() },
-        )
-        .unwrap();
+        let single =
+            QracSolver::new(problem, QracConfig { nodes_per_qudit: 1, ..Default::default() })
+                .unwrap();
         assert_eq!(single.qudits_used(), 10);
         assert!(QracSolver::new(
             ColoringProblem::new(Graph::cycle(4).unwrap(), 3).unwrap(),

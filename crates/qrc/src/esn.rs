@@ -149,8 +149,7 @@ mod tests {
         assert_eq!(a.len(), 4);
         assert!(a.iter().flatten().all(|x| x.abs() <= 1.0));
         let b = esn.run(&[0.0, 0.0, 0.0, 0.0]);
-        let diff: f64 =
-            a[0].iter().zip(b[0].iter()).map(|(x, y)| (x - y).abs()).sum();
+        let diff: f64 = a[0].iter().zip(b[0].iter()).map(|(x, y)| (x - y).abs()).sum();
         assert!(diff > 1e-6);
     }
 
@@ -160,8 +159,7 @@ mod tests {
         let esn = EchoStateNetwork::new(EsnParams { size: 60, ..Default::default() }).unwrap();
         let features = esn.run(&task.inputs);
         let split = 200;
-        let readout =
-            fit_ridge(&features[..split], &task.targets[..split], 1e-6).unwrap();
+        let readout = fit_ridge(&features[..split], &task.targets[..split], 1e-6).unwrap();
         let preds = readout.predict_batch(&features[split..]);
         let error = nmse(&preds, &task.targets[split..]);
         assert!(error < 0.5, "NMSE {error}");

@@ -38,5 +38,7 @@ pub use error::{QrcError, Result};
 pub use esn::{EchoStateNetwork, EsnParams};
 pub use pipeline::{evaluate_esn, evaluate_quantum, evaluate_quantum_with_shots, Evaluation};
 pub use reservoir::{QuantumReservoir, ReservoirParams};
-pub use tasks::{mackey_glass, memory_task, narma, nmse, sine_square_classification, TimeSeriesTask};
+pub use tasks::{
+    mackey_glass, memory_task, narma, nmse, sine_square_classification, TimeSeriesTask,
+};
 pub use train::{fit_ridge, LinearReadout};

@@ -114,8 +114,7 @@ fn evaluate_features(
     }
     if !(0.0..1.0).contains(&train_fraction) || task.len() < WASHOUT + 4 {
         return Err(QrcError::InvalidConfig(
-            "train_fraction must lie in (0,1) and the task must be longer than the washout"
-                .into(),
+            "train_fraction must lie in (0,1) and the task must be longer than the washout".into(),
         ));
     }
     let split = ((task.len() as f64) * train_fraction).round() as usize;
@@ -166,17 +165,11 @@ mod tests {
         // conditioned training set: the starved budget should be measurably
         // worse.
         let task = tasks::memory_task(150, 1, 13);
-        let few = evaluate_quantum_with_shots(&ReservoirParams::small(), &task, 0.7, 1e-3, 5, 3)
-            .unwrap();
-        let many = evaluate_quantum_with_shots(
-            &ReservoirParams::small(),
-            &task,
-            0.7,
-            1e-3,
-            200_000,
-            3,
-        )
-        .unwrap();
+        let few =
+            evaluate_quantum_with_shots(&ReservoirParams::small(), &task, 0.7, 1e-3, 5, 3).unwrap();
+        let many =
+            evaluate_quantum_with_shots(&ReservoirParams::small(), &task, 0.7, 1e-3, 200_000, 3)
+                .unwrap();
         assert!(
             few.test_nmse > many.test_nmse,
             "5-shot NMSE {} should exceed 200k-shot NMSE {}",

@@ -189,23 +189,14 @@ impl QuantumReservoir {
     ///
     /// # Errors
     /// Returns an error if the open-system integration fails.
-    pub fn run_with_shots(
-        &self,
-        inputs: &[f64],
-        shots: usize,
-        seed: u64,
-    ) -> Result<Vec<Vec<f64>>> {
+    pub fn run_with_shots(&self, inputs: &[f64], shots: usize, seed: u64) -> Result<Vec<Vec<f64>>> {
         if shots == 0 {
             return Err(QrcError::InvalidConfig("shot count must be positive".into()));
         }
         self.run_internal(inputs, Some((shots, seed)))
     }
 
-    fn run_internal(
-        &self,
-        inputs: &[f64],
-        shots: Option<(usize, u64)>,
-    ) -> Result<Vec<Vec<f64>>> {
+    fn run_internal(&self, inputs: &[f64], shots: Option<(usize, u64)>) -> Result<Vec<Vec<f64>>> {
         let d = self.params.levels;
         let dims = vec![d; self.params.modes];
         let mut rho = DensityMatrix::zero(dims).map_err(QrcError::Core)?;
@@ -216,8 +207,7 @@ impl QuantumReservoir {
         let drive_quadrature = &a + &a.dagger();
 
         let segment_time = self.params.step_time / self.params.virtual_nodes as f64;
-        let substeps_per_segment =
-            (self.params.substeps / self.params.virtual_nodes).max(1);
+        let substeps_per_segment = (self.params.substeps / self.params.virtual_nodes).max(1);
         let dt = segment_time / substeps_per_segment as f64;
         let mut features = Vec::with_capacity(inputs.len());
         for &u in inputs {
@@ -246,8 +236,7 @@ impl QuantumReservoir {
                     let mean = rho.expectation(op, targets).map_err(QrcError::Core)?.re;
                     let value = if let (Some((shots, _)), Some(rng)) = (shots, rng.as_mut()) {
                         let op_sq = op.matmul(op).expect("square");
-                        let second =
-                            rho.expectation(&op_sq, targets).map_err(QrcError::Core)?.re;
+                        let second = rho.expectation(&op_sq, targets).map_err(QrcError::Core)?.re;
                         let variance = (second - mean * mean).max(0.0);
                         mean + normal.sample(rng) * (variance / shots as f64).sqrt()
                     } else {
@@ -326,9 +315,8 @@ mod tests {
         input_a[0] = 0.5;
         let fa = r.run(&input_a).unwrap();
         let fb = r.run(&input_b).unwrap();
-        let diff = |k: usize| -> f64 {
-            fa[k].iter().zip(fb[k].iter()).map(|(x, y)| (x - y).abs()).sum()
-        };
+        let diff =
+            |k: usize| -> f64 { fa[k].iter().zip(fb[k].iter()).map(|(x, y)| (x - y).abs()).sum() };
         assert!(diff(0) > 1e-3);
         assert!(diff(7) < diff(0));
     }

@@ -85,7 +85,11 @@ pub fn mackey_glass(length: usize, seed: u64) -> TimeSeriesTask {
 
 /// Sine-vs-square waveform classification: the input alternates between sine
 /// and square segments; the target is the segment label (0 or 1).
-pub fn sine_square_classification(segments: usize, samples_per_segment: usize, seed: u64) -> TimeSeriesTask {
+pub fn sine_square_classification(
+    segments: usize,
+    samples_per_segment: usize,
+    seed: u64,
+) -> TimeSeriesTask {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut inputs = Vec::with_capacity(segments * samples_per_segment);
     let mut targets = Vec::with_capacity(segments * samples_per_segment);

@@ -19,13 +19,7 @@ pub struct LinearReadout {
 impl LinearReadout {
     /// Predicts the target for one feature vector.
     pub fn predict(&self, features: &[f64]) -> f64 {
-        self.bias
-            + self
-                .weights
-                .iter()
-                .zip(features.iter())
-                .map(|(w, x)| w * x)
-                .sum::<f64>()
+        self.bias + self.weights.iter().zip(features.iter()).map(|(w, x)| w * x).sum::<f64>()
     }
 
     /// Predicts targets for a batch of feature vectors.
@@ -53,7 +47,7 @@ pub fn fit_ridge(features: &[Vec<f64>], targets: &[f64], ridge: f64) -> Result<L
         return Err(QrcError::TrainingFailed("inconsistent feature dimensions".into()));
     }
     let aug = dim + 1; // bias column
-    // Normal equations.
+                       // Normal equations.
     let mut xtx = vec![vec![0.0_f64; aug]; aug];
     let mut xty = vec![0.0_f64; aug];
     for (f, &y) in features.iter().zip(targets.iter()) {

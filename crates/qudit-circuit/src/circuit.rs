@@ -219,10 +219,7 @@ impl Circuit {
 
     /// Number of unitary gate instructions.
     pub fn gate_count(&self) -> usize {
-        self.instructions
-            .iter()
-            .filter(|i| matches!(i, Instruction::Unitary { .. }))
-            .count()
+        self.instructions.iter().filter(|i| matches!(i, Instruction::Unitary { .. })).count()
     }
 
     /// Number of unitary gates acting on at least two qudits.

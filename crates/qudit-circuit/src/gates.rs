@@ -86,9 +86,7 @@ pub fn projector(d: usize, level: usize) -> CMatrix {
 /// Phases beyond the supplied list default to zero.
 pub fn snap(d: usize, phases: &[f64]) -> CMatrix {
     CMatrix::diag(
-        &(0..d)
-            .map(|n| Complex64::cis(phases.get(n).copied().unwrap_or(0.0)))
-            .collect::<Vec<_>>(),
+        &(0..d).map(|n| Complex64::cis(phases.get(n).copied().unwrap_or(0.0))).collect::<Vec<_>>(),
     )
 }
 
@@ -290,23 +288,15 @@ pub fn embed_qubit_gate(d: usize, u2: &CMatrix) -> CMatrix {
 /// The qubit Hadamard (2x2), convenient for qubit-encoded baselines.
 pub fn hadamard_qubit() -> CMatrix {
     let s = std::f64::consts::FRAC_1_SQRT_2;
-    CMatrix::from_fn(2, 2, |i, j| {
-        if i == 1 && j == 1 {
-            c64(-s, 0.0)
-        } else {
-            c64(s, 0.0)
-        }
-    })
+    CMatrix::from_fn(2, 2, |i, j| if i == 1 && j == 1 { c64(-s, 0.0) } else { c64(s, 0.0) })
 }
 
 /// Qubit rotation `exp(-i θ/2 (n_x X + n_y Y + n_z Z))` for qubit-encoded
 /// baselines.
 pub fn qubit_rotation(theta: f64, nx: f64, ny: f64, nz: f64) -> CMatrix {
-    let h = CMatrix::from_rows(&[
-        vec![c64(nz, 0.0), c64(nx, -ny)],
-        vec![c64(nx, ny), c64(-nz, 0.0)],
-    ])
-    .expect("2x2");
+    let h =
+        CMatrix::from_rows(&[vec![c64(nz, 0.0), c64(nx, -ny)], vec![c64(nx, ny), c64(-nz, 0.0)]])
+            .expect("2x2");
     expm_hermitian(&h, c64(0.0, -theta / 2.0)).expect("Hermitian generator")
 }
 
@@ -478,12 +468,7 @@ mod tests {
         let d = 4;
         let f = fourier(d);
         let id = CMatrix::identity(d);
-        let lhs = id
-            .kron(&f.dagger())
-            .matmul(&cphase(d, d))
-            .unwrap()
-            .matmul(&id.kron(&f))
-            .unwrap();
+        let lhs = id.kron(&f.dagger()).matmul(&cphase(d, d)).unwrap().matmul(&id.kron(&f)).unwrap();
         let fid = process_fidelity(&lhs, &csum(d, d)).unwrap();
         assert!(fid > 1.0 - 1e-9, "fidelity {fid}");
     }
@@ -583,7 +568,7 @@ mod tests {
     fn cphase_weighted_gradient_structure() {
         let g = cphase_weighted(3, 3, 0.7);
         assert!(g.is_unitary(TOL));
-        let idx = 1 * 3 + 2;
+        let idx = 3 + 2;
         assert!((g[(idx, idx)] - Complex64::cis(-0.7 * 2.0)).abs() < TOL);
     }
 }

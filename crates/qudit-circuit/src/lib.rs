@@ -56,7 +56,5 @@ pub mod prelude {
     pub use crate::gate::Gate;
     pub use crate::noise::{KrausChannel, NoiseKind, NoiseModel};
     pub use crate::observable::Observable;
-    pub use crate::sim::{
-        DensityMatrixSimulator, StatevectorSimulator, TrajectorySimulator,
-    };
+    pub use crate::sim::{DensityMatrixSimulator, StatevectorSimulator, TrajectorySimulator};
 }

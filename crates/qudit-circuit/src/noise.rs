@@ -30,11 +30,7 @@ impl KrausChannel {
     /// # Errors
     /// Returns an error if the list is empty, shapes are inconsistent, or the
     /// completeness relation `Σ K†K = I` fails to hold within `1e-8`.
-    pub fn new(
-        name: impl Into<String>,
-        dims: Vec<usize>,
-        operators: Vec<CMatrix>,
-    ) -> Result<Self> {
+    pub fn new(name: impl Into<String>, dims: Vec<usize>, operators: Vec<CMatrix>) -> Result<Self> {
         let total: usize = dims.iter().product();
         if operators.is_empty() {
             return Err(CircuitError::InvalidChannel("empty Kraus operator list".into()));

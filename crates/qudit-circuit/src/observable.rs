@@ -78,12 +78,21 @@ impl Observable {
     pub fn expectation(&self, state: &QuditState) -> Result<f64> {
         let mut acc = 0.0;
         for term in &self.terms {
-            let mut applied = state.clone();
-            for (q, op) in &term.factors {
-                applied.apply_operator(op, &[*q]).map_err(CircuitError::Core)?;
-            }
-            let val = state.inner(&applied).map_err(CircuitError::Core)?;
-            acc += term.coeff * val.re;
+            let val = match term.factors.as_slice() {
+                // Constant term: ⟨ψ|ψ⟩.
+                [] => state.norm_sqr(),
+                // Single local factor: stride-plan expectation, no clone.
+                [(q, op)] => state.expectation(op, &[*q]).map_err(CircuitError::Core)?.re,
+                // Product over distinct qudits: apply the factors to a copy.
+                factors => {
+                    let mut applied = state.clone();
+                    for (q, op) in factors {
+                        applied.apply_operator(op, &[*q]).map_err(CircuitError::Core)?;
+                    }
+                    state.inner(&applied).map_err(CircuitError::Core)?.re
+                }
+            };
+            acc += term.coeff * val;
         }
         Ok(acc)
     }
@@ -134,8 +143,8 @@ impl Observable {
 /// returning a new (generally non-physical) matrix used only for computing
 /// traces of operator products.
 fn apply_left_local(rho: &DensityMatrix, op: &CMatrix, qudit: usize) -> Result<DensityMatrix> {
-    let full = qudit_core::radix::embed_operator(rho.radix(), op, &[qudit])
-        .map_err(CircuitError::Core)?;
+    let full =
+        qudit_core::radix::embed_operator(rho.radix(), op, &[qudit]).map_err(CircuitError::Core)?;
     let m = full.matmul(rho.matrix()).map_err(CircuitError::Core)?;
     DensityMatrix::from_matrix(rho.radix().dims().to_vec(), m).map_err(CircuitError::Core)
 }
@@ -177,10 +186,7 @@ mod tests {
     fn two_qudit_correlator() {
         // ⟨n̂_0 n̂_1⟩ on |2,1⟩ = 2.
         let mut obs = Observable::new();
-        obs.add_term(
-            1.0,
-            vec![(0, gates::number_operator(3)), (1, gates::number_operator(3))],
-        );
+        obs.add_term(1.0, vec![(0, gates::number_operator(3)), (1, gates::number_operator(3))]);
         let s = QuditState::basis(vec![3, 3], &[2, 1]).unwrap();
         assert!((obs.expectation(&s).unwrap() - 2.0).abs() < 1e-12);
     }
@@ -189,10 +195,7 @@ mod tests {
     fn density_expectation_matches_pure_expectation() {
         let mut obs = Observable::new();
         obs.add_term(1.3, vec![(0, gates::number_operator(3))]);
-        obs.add_term(
-            0.7,
-            vec![(0, gates::number_operator(3)), (1, gates::projector(3, 2))],
-        );
+        obs.add_term(0.7, vec![(0, gates::number_operator(3)), (1, gates::projector(3, 2))]);
         let mut s = QuditState::uniform_superposition(vec![3, 3]).unwrap();
         s.apply_operator(&gates::fourier(3), &[0]).unwrap();
         let rho = DensityMatrix::from_pure(&s);
@@ -210,7 +213,10 @@ mod tests {
         let obs = Observable::single(0, op);
         let s = QuditState::from_amplitudes(
             vec![2],
-            vec![c64(std::f64::consts::FRAC_1_SQRT_2, 0.0), c64(std::f64::consts::FRAC_1_SQRT_2, 0.0)],
+            vec![
+                c64(std::f64::consts::FRAC_1_SQRT_2, 0.0),
+                c64(std::f64::consts::FRAC_1_SQRT_2, 0.0),
+            ],
         )
         .unwrap();
         assert!((obs.expectation(&s).unwrap() - 1.0).abs() < 1e-12);

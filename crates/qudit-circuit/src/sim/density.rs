@@ -229,9 +229,7 @@ mod tests {
         base.push(Gate::shift_x(3), &[0]).unwrap();
 
         let mut explicit = base.clone();
-        explicit
-            .push_channel(KrausChannel::photon_loss(3, 0.3).unwrap(), &[0])
-            .unwrap();
+        explicit.push_channel(KrausChannel::photon_loss(3, 0.3).unwrap(), &[0]).unwrap();
         let rho_explicit = DensityMatrixSimulator::new().run(&explicit).unwrap();
 
         let sim = DensityMatrixSimulator::new().with_noise(NoiseModel::cavity(0.3, 0.3, 0.0));

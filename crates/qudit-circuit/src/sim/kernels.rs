@@ -1,0 +1,106 @@
+//! Precompiled per-instruction kernels shared across shots and trajectories.
+//!
+//! Running a stochastic circuit many times (Monte-Carlo trajectories,
+//! per-shot re-runs) repeats the same per-instruction setup work every run:
+//! building the stride geometry for each gate's targets, classifying each
+//! operator's structure, and constructing the noise model's Kraus channels.
+//! [`CircuitKernels`] hoists all of that out of the run loop: it is built
+//! once per `(circuit, noise model)` pair and is immutable and `Sync`
+//! afterwards, so the parallel trajectory executor shares one instance
+//! across worker threads. Mutable per-run scratch lives in the runner.
+
+use qudit_core::apply::{ApplyPlan, OpKind};
+use qudit_core::Complex64;
+
+use crate::circuit::{Circuit, Instruction};
+use crate::error::{CircuitError, Result};
+use crate::noise::{KrausChannel, NoiseModel};
+
+/// A Kraus channel with its application geometry precomputed.
+#[derive(Debug, Clone)]
+pub(crate) struct ChannelKernel {
+    pub channel: KrausChannel,
+    pub plan: ApplyPlan,
+    /// Structure classification of each Kraus operator.
+    pub kinds: Vec<OpKind>,
+}
+
+impl ChannelKernel {
+    pub(crate) fn new(
+        radix: &qudit_core::Radix,
+        channel: KrausChannel,
+        targets: Vec<usize>,
+    ) -> Result<Self> {
+        let plan = ApplyPlan::new(radix, &targets).map_err(CircuitError::Core)?;
+        let kinds = channel.operators().iter().map(OpKind::classify).collect();
+        Ok(Self { channel, plan, kinds })
+    }
+}
+
+/// Precompiled kernel for one instruction.
+#[derive(Debug, Clone)]
+pub(crate) enum InstKernel {
+    /// A unitary gate: its stride plan, operator structure and the noise
+    /// channels the model inserts after it.
+    Unitary { plan: ApplyPlan, kind: OpKind, noise: Vec<ChannelKernel> },
+    /// An explicit channel instruction.
+    Channel(ChannelKernel),
+    /// Instructions whose per-run cost is not plan-dominated (measure,
+    /// reset, barrier); they fall back to the on-the-fly paths.
+    Passthrough,
+}
+
+/// All per-instruction kernels of a circuit under a noise model, plus the
+/// idle-loss channels applied at barriers.
+#[derive(Debug, Clone)]
+pub(crate) struct CircuitKernels {
+    pub per_inst: Vec<InstKernel>,
+    /// One photon-loss channel per qudit, used at each `Barrier` when the
+    /// model has idle loss (empty otherwise).
+    pub barrier_loss: Vec<ChannelKernel>,
+}
+
+impl CircuitKernels {
+    pub(crate) fn new(circuit: &Circuit, noise: &NoiseModel) -> Result<Self> {
+        let radix = circuit.radix();
+        let dims = circuit.dims();
+        let mut per_inst = Vec::with_capacity(circuit.instructions().len());
+        for inst in circuit.instructions() {
+            per_inst.push(match inst {
+                Instruction::Unitary { gate, targets } => {
+                    let plan = ApplyPlan::new(radix, targets).map_err(CircuitError::Core)?;
+                    let kind = OpKind::classify(gate.matrix());
+                    let noise_channels = noise
+                        .channels_after_gate(targets, dims)?
+                        .into_iter()
+                        .map(|(channel, qudit)| ChannelKernel::new(radix, channel, vec![qudit]))
+                        .collect::<Result<Vec<_>>>()?;
+                    InstKernel::Unitary { plan, kind, noise: noise_channels }
+                }
+                Instruction::Channel { channel, targets } => InstKernel::Channel(
+                    ChannelKernel::new(radix, channel.clone(), targets.clone())?,
+                ),
+                _ => InstKernel::Passthrough,
+            });
+        }
+        let mut barrier_loss = Vec::new();
+        if noise.idle_photon_loss > 0.0
+            && circuit.instructions().iter().any(|i| matches!(i, Instruction::Barrier))
+        {
+            for (q, &d) in dims.iter().enumerate() {
+                let loss = KrausChannel::photon_loss(d, noise.idle_photon_loss)?;
+                barrier_loss.push(ChannelKernel::new(radix, loss, vec![q])?);
+            }
+        }
+        Ok(Self { per_inst, barrier_loss })
+    }
+}
+
+/// Reusable per-run working memory for the kernel paths.
+#[derive(Debug, Default)]
+pub(crate) struct RunScratch {
+    /// Gather/apply scratch sized to the largest operator block.
+    pub block: Vec<Complex64>,
+    /// Kraus branch probabilities.
+    pub branch_probs: Vec<f64>,
+}

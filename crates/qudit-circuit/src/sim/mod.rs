@@ -12,6 +12,7 @@
 //!   trajectories grows, at state-vector memory cost.
 
 mod density;
+mod kernels;
 mod statevector;
 mod trajectory;
 
@@ -25,6 +26,7 @@ use qudit_core::state::QuditState;
 
 use crate::error::Result;
 use crate::noise::KrausChannel;
+use kernels::{ChannelKernel, RunScratch};
 
 /// Applies a Kraus channel to a pure state stochastically (quantum-trajectory
 /// unraveling): Kraus operator `K_k` is selected with probability
@@ -40,27 +42,46 @@ pub fn apply_channel_stochastic<R: Rng + ?Sized>(
     targets: &[usize],
     rng: &mut R,
 ) -> Result<usize> {
-    let ops = channel.operators();
+    let kernel = ChannelKernel::new(state.radix(), channel.clone(), targets.to_vec())?;
+    apply_channel_prepared(state, &kernel, rng, &mut RunScratch::default())
+}
+
+/// [`apply_channel_stochastic`] through a precompiled [`ChannelKernel`]:
+/// branch probabilities `‖K_k|ψ⟩‖²` are computed in place (no per-branch
+/// state clones), and only the selected operator is applied.
+pub(crate) fn apply_channel_prepared<R: Rng + ?Sized>(
+    state: &mut QuditState,
+    kernel: &ChannelKernel,
+    rng: &mut R,
+    scratch: &mut RunScratch,
+) -> Result<usize> {
+    let core = crate::error::CircuitError::Core;
+    let ops = kernel.channel.operators();
     // Fast path: unitary channel (single Kraus operator).
     if ops.len() == 1 {
-        state.apply_operator(&ops[0], targets).map_err(crate::error::CircuitError::Core)?;
+        state
+            .apply_prepared(&kernel.plan, &kernel.kinds[0], &ops[0], &mut scratch.block)
+            .map_err(core)?;
         return Ok(0);
     }
     let mut r: f64 = rng.gen::<f64>();
-    let mut candidates: Vec<(usize, QuditState, f64)> = Vec::with_capacity(ops.len());
-    for (k, op) in ops.iter().enumerate() {
-        let mut branch = state.clone();
-        branch.apply_operator(op, targets).map_err(crate::error::CircuitError::Core)?;
-        let p = branch.norm_sqr();
-        candidates.push((k, branch, p));
+    scratch.branch_probs.clear();
+    for (op, kind) in ops.iter().zip(kernel.kinds.iter()) {
+        let p = kernel
+            .plan
+            .norm_sqr_after(kind, op, state.amplitudes(), &mut scratch.block)
+            .map_err(core)?;
+        scratch.branch_probs.push(p);
     }
-    let total: f64 = candidates.iter().map(|(_, _, p)| p).sum();
+    let total: f64 = scratch.branch_probs.iter().sum();
     r *= total;
-    for (k, branch, p) in candidates {
+    for k in 0..ops.len() {
+        let p = scratch.branch_probs[k];
         if r < p || k == ops.len() - 1 {
-            let mut chosen = branch;
-            chosen.normalize().map_err(crate::error::CircuitError::Core)?;
-            *state = chosen;
+            state
+                .apply_prepared(&kernel.plan, &kernel.kinds[k], &ops[k], &mut scratch.block)
+                .map_err(core)?;
+            state.normalize().map_err(core)?;
             return Ok(k);
         }
         r -= p;

@@ -9,10 +9,10 @@ use qudit_core::state::QuditState;
 
 use crate::circuit::{Circuit, Instruction};
 use crate::error::{CircuitError, Result};
-use crate::gates;
 use crate::noise::NoiseModel;
 use crate::observable::Observable;
-use crate::sim::{apply_channel_stochastic, apply_readout_flip};
+use crate::sim::kernels::{CircuitKernels, InstKernel, RunScratch};
+use crate::sim::{apply_channel_prepared, apply_readout_flip};
 
 /// Output of a state-vector run: the final state and any recorded
 /// measurement outcomes (in program order).
@@ -34,6 +34,7 @@ pub struct RunOutput {
 pub struct StatevectorSimulator {
     seed: u64,
     noise: NoiseModel,
+    threads: usize,
 }
 
 impl Default for StatevectorSimulator {
@@ -45,12 +46,12 @@ impl Default for StatevectorSimulator {
 impl StatevectorSimulator {
     /// Creates a simulator with the default seed and no noise model.
     pub fn new() -> Self {
-        Self { seed: 0xC0FFEE, noise: NoiseModel::noiseless() }
+        Self { seed: 0xC0FFEE, noise: NoiseModel::noiseless(), threads: 0 }
     }
 
     /// Creates a simulator with an explicit seed.
     pub fn with_seed(seed: u64) -> Self {
-        Self { seed, noise: NoiseModel::noiseless() }
+        Self { seed, noise: NoiseModel::noiseless(), threads: 0 }
     }
 
     /// Attaches a gate-level noise model; noise channels are inserted
@@ -58,6 +59,15 @@ impl StatevectorSimulator {
     #[must_use]
     pub fn with_noise(mut self, noise: NoiseModel) -> Self {
         self.noise = noise;
+        self
+    }
+
+    /// Sets the worker-thread count for the parallel shot loop in
+    /// [`StatevectorSimulator::sample_counts`] (`0` = automatic). Results are
+    /// independent of the thread count: every shot derives its own RNG seed.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
         self
     }
 
@@ -76,8 +86,7 @@ impl StatevectorSimulator {
     /// # Errors
     /// Returns an error for invalid instructions.
     pub fn run_detailed(&self, circuit: &Circuit) -> Result<RunOutput> {
-        let initial =
-            QuditState::zero(circuit.dims().to_vec()).map_err(CircuitError::Core)?;
+        let initial = QuditState::zero(circuit.dims().to_vec()).map_err(CircuitError::Core)?;
         self.run_from(circuit, &initial)
     }
 
@@ -103,6 +112,21 @@ impl StatevectorSimulator {
         initial: &QuditState,
         rng: &mut StdRng,
     ) -> Result<RunOutput> {
+        let kernels = CircuitKernels::new(circuit, &self.noise)?;
+        self.run_prepared(circuit, &kernels, initial, rng)
+    }
+
+    /// Runs the circuit through precompiled [`CircuitKernels`], the shared
+    /// path behind every shot and trajectory loop: stride plans, operator
+    /// classifications and noise channels are reused, and one scratch buffer
+    /// serves the whole run.
+    pub(crate) fn run_prepared(
+        &self,
+        circuit: &Circuit,
+        kernels: &CircuitKernels,
+        initial: &QuditState,
+        rng: &mut StdRng,
+    ) -> Result<RunOutput> {
         if initial.radix() != circuit.radix() {
             return Err(CircuitError::InvalidTargets(format!(
                 "initial state register {:?} does not match circuit register {:?}",
@@ -112,26 +136,29 @@ impl StatevectorSimulator {
         }
         let mut state = initial.clone();
         let mut measurements = Vec::new();
-        let dims = circuit.dims().to_vec();
+        let mut scratch = RunScratch::default();
+        let dims = circuit.dims();
 
-        for inst in circuit.instructions() {
-            match inst {
-                Instruction::Unitary { gate, targets } => {
+        for (inst, kernel) in circuit.instructions().iter().zip(kernels.per_inst.iter()) {
+            match (inst, kernel) {
+                (
+                    Instruction::Unitary { gate, targets: _ },
+                    InstKernel::Unitary { plan, kind, noise },
+                ) => {
                     state
-                        .apply_operator(gate.matrix(), targets)
+                        .apply_prepared(plan, kind, gate.matrix(), &mut scratch.block)
                         .map_err(CircuitError::Core)?;
-                    for (channel, qudit) in self.noise.channels_after_gate(targets, &dims)? {
-                        apply_channel_stochastic(&mut state, &channel, &[qudit], rng)?;
+                    for channel in noise {
+                        apply_channel_prepared(&mut state, channel, rng, &mut scratch)?;
                     }
                 }
-                Instruction::Measure { targets } => {
-                    let mut outcome =
-                        state.measure(targets, rng).map_err(CircuitError::Core)?;
+                (Instruction::Measure { targets }, _) => {
+                    let mut outcome = state.measure(targets, rng).map_err(CircuitError::Core)?;
                     let target_dims: Vec<usize> = targets.iter().map(|&t| dims[t]).collect();
                     apply_readout_flip(&mut outcome, &target_dims, self.noise.readout_flip, rng);
                     measurements.push((targets.clone(), outcome));
                 }
-                Instruction::Reset { target } => {
+                (Instruction::Reset { target }, _) => {
                     let outcome = state.measure(&[*target], rng).map_err(CircuitError::Core)?;
                     // Rotate the observed level back to |0⟩ with a shift gate.
                     let level = outcome[0];
@@ -143,19 +170,16 @@ impl StatevectorSimulator {
                             .map_err(CircuitError::Core)?;
                     }
                 }
-                Instruction::Channel { channel, targets } => {
-                    apply_channel_stochastic(&mut state, channel, targets, rng)?;
+                (Instruction::Channel { .. }, InstKernel::Channel(channel)) => {
+                    apply_channel_prepared(&mut state, channel, rng, &mut scratch)?;
                 }
-                Instruction::Barrier => {
-                    if self.noise.idle_photon_loss > 0.0 {
-                        for (q, &d) in dims.iter().enumerate() {
-                            let loss = crate::noise::KrausChannel::photon_loss(
-                                d,
-                                self.noise.idle_photon_loss,
-                            )?;
-                            apply_channel_stochastic(&mut state, &loss, &[q], rng)?;
-                        }
+                (Instruction::Barrier, _) => {
+                    for channel in &kernels.barrier_loss {
+                        apply_channel_prepared(&mut state, channel, rng, &mut scratch)?;
                     }
+                }
+                (inst, kernel) => {
+                    unreachable!("instruction/kernel mismatch: {inst:?} vs {kernel:?}")
                 }
             }
         }
@@ -179,30 +203,43 @@ impl StatevectorSimulator {
     ) -> Result<HashMap<Vec<usize>, usize>> {
         let stochastic = self.circuit_is_stochastic(circuit);
         let mut counts: HashMap<Vec<usize>, usize> = HashMap::new();
-        let mut rng = StdRng::seed_from_u64(self.seed.wrapping_add(1));
         if !stochastic {
+            // Deterministic circuit: evolve once, then draw shots from the
+            // precomputed cumulative distribution (binary search per shot).
+            let mut rng = StdRng::seed_from_u64(self.seed.wrapping_add(1));
             let out = self.run_detailed(circuit)?;
+            let cdf = out.state.cdf();
+            let radix = out.state.radix();
             for _ in 0..shots {
-                let mut digits = out.state.sample(&mut rng);
+                let mut digits = radix.digits_of(cdf.draw(&mut rng)).expect("index in range");
                 apply_readout_flip(&mut digits, circuit.dims(), self.noise.readout_flip, &mut rng);
                 *counts.entry(digits).or_insert(0) += 1;
             }
         } else {
-            for shot in 0..shots {
-                let mut shot_rng = StdRng::seed_from_u64(
-                    self.seed.wrapping_add(0x9E37_79B9).wrapping_mul(shot as u64 + 1),
-                );
-                let initial =
-                    QuditState::zero(circuit.dims().to_vec()).map_err(CircuitError::Core)?;
-                let out = self.run_from_with_rng(circuit, &initial, &mut shot_rng)?;
-                let mut digits = out.state.sample(&mut shot_rng);
-                apply_readout_flip(
-                    &mut digits,
-                    circuit.dims(),
-                    self.noise.readout_flip,
-                    &mut shot_rng,
-                );
-                *counts.entry(digits).or_insert(0) += 1;
+            // Stochastic circuit: every shot re-runs the circuit with its own
+            // index-derived seed, so the shot loop is embarrassingly parallel
+            // and its outcome is independent of the thread count.
+            let kernels = CircuitKernels::new(circuit, &self.noise)?;
+            let initial = QuditState::zero(circuit.dims().to_vec()).map_err(CircuitError::Core)?;
+            let threads =
+                if self.threads == 0 { qudit_core::par::max_threads() } else { self.threads };
+            let shot_digits =
+                qudit_core::par::par_map_threads(shots, threads, |shot| -> Result<Vec<usize>> {
+                    let mut shot_rng = StdRng::seed_from_u64(
+                        self.seed.wrapping_add(0x9E37_79B9).wrapping_mul(shot as u64 + 1),
+                    );
+                    let out = self.run_prepared(circuit, &kernels, &initial, &mut shot_rng)?;
+                    let mut digits = out.state.sample(&mut shot_rng);
+                    apply_readout_flip(
+                        &mut digits,
+                        circuit.dims(),
+                        self.noise.readout_flip,
+                        &mut shot_rng,
+                    );
+                    Ok(digits)
+                });
+            for digits in shot_digits {
+                *counts.entry(digits?).or_insert(0) += 1;
             }
         }
         Ok(counts)
@@ -232,13 +269,14 @@ impl StatevectorSimulator {
 }
 
 /// `X^k` for the generalised shift, used to un-compute reset outcomes.
+/// `X^k` maps `|c⟩ → |c + k mod d⟩`, so it is constructed directly as the
+/// index permutation rather than by `k` repeated O(d³) matrix products.
 fn power_of_shift(d: usize, k: usize) -> qudit_core::matrix::CMatrix {
-    let x = gates::shift_x(d);
-    let mut acc = qudit_core::matrix::CMatrix::identity(d);
-    for _ in 0..(k % d) {
-        acc = x.matmul(&acc).expect("square");
+    let mut m = qudit_core::matrix::CMatrix::zeros(d, d);
+    for c in 0..d {
+        m[((c + k) % d, c)] = qudit_core::complex::Complex64::ONE;
     }
-    acc
+    m
 }
 
 #[cfg(test)]
@@ -314,8 +352,8 @@ mod tests {
         let mut c = Circuit::uniform(2, 3);
         c.push(Gate::shift_x(3), &[0]).unwrap();
         c.push(Gate::shift_x(3), &[1]).unwrap();
-        let noisy = StatevectorSimulator::with_seed(1)
-            .with_noise(NoiseModel::cavity(1.0, 1.0, 0.0));
+        let noisy =
+            StatevectorSimulator::with_seed(1).with_noise(NoiseModel::cavity(1.0, 1.0, 0.0));
         let state = noisy.run(&c).unwrap();
         assert!((state.amplitude(&[0, 0]).unwrap().abs() - 1.0).abs() < 1e-10);
     }
@@ -347,6 +385,41 @@ mod tests {
         let counts = sim.sample_counts(&c, 5000).unwrap();
         let ones = counts.get(&vec![1usize]).copied().unwrap_or(0) as f64 / 5000.0;
         assert!((ones - 0.3).abs() < 0.03);
+    }
+
+    #[test]
+    fn power_of_shift_matches_repeated_multiplication() {
+        for d in [2usize, 3, 5] {
+            for k in 0..=d + 1 {
+                let x = crate::gates::shift_x(d);
+                let mut expected = qudit_core::matrix::CMatrix::identity(d);
+                for _ in 0..(k % d) {
+                    expected = x.matmul(&expected).unwrap();
+                }
+                let direct = power_of_shift(d, k);
+                assert!((&direct - &expected).max_abs() < 1e-15, "d = {d}, k = {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn stochastic_sampling_is_thread_count_invariant() {
+        let mut c = Circuit::uniform(2, 3);
+        c.push(Gate::fourier(3), &[0]).unwrap();
+        c.push(Gate::csum(3, 3), &[0, 1]).unwrap();
+        c.measure(&[0]).unwrap();
+        let noise = NoiseModel::cavity(0.1, 0.2, 0.0);
+        let serial = StatevectorSimulator::with_seed(21)
+            .with_noise(noise.clone())
+            .with_threads(1)
+            .sample_counts(&c, 300)
+            .unwrap();
+        let parallel = StatevectorSimulator::with_seed(21)
+            .with_noise(noise)
+            .with_threads(4)
+            .sample_counts(&c, 300)
+            .unwrap();
+        assert_eq!(serial, parallel);
     }
 
     #[test]

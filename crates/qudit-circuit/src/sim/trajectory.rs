@@ -5,18 +5,27 @@
 //! trajectories. Memory cost is that of a state vector, so this back-end
 //! reaches register sizes the density-matrix simulator cannot, at the price
 //! of statistical error `∝ 1/√N`.
+//!
+//! Trajectories are independent by construction — trajectory `t` seeds its
+//! own RNG from `t` — so they run on [`qudit_core::par`] worker threads and
+//! reduce in trajectory order, making every estimate **bitwise identical**
+//! to the serial loop regardless of thread count. The per-instruction stride
+//! plans, operator classifications and noise channels are precompiled once
+//! and shared (read-only) by all trajectories.
 
 use std::collections::HashMap;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use qudit_core::par;
 use qudit_core::state::QuditState;
 
 use crate::circuit::Circuit;
 use crate::error::{CircuitError, Result};
 use crate::noise::NoiseModel;
 use crate::observable::Observable;
+use crate::sim::kernels::CircuitKernels;
 use crate::sim::statevector::StatevectorSimulator;
 
 /// A Monte-Carlo trajectory simulator.
@@ -25,6 +34,7 @@ pub struct TrajectorySimulator {
     n_trajectories: usize,
     seed: u64,
     noise: NoiseModel,
+    threads: usize,
 }
 
 /// Mean and standard error of a trajectory-averaged expectation value.
@@ -41,7 +51,12 @@ pub struct TrajectoryEstimate {
 impl TrajectorySimulator {
     /// Creates a simulator averaging over `n_trajectories` runs.
     pub fn new(n_trajectories: usize) -> Self {
-        Self { n_trajectories: n_trajectories.max(1), seed: 0x7247, noise: NoiseModel::noiseless() }
+        Self {
+            n_trajectories: n_trajectories.max(1),
+            seed: 0x7247,
+            noise: NoiseModel::noiseless(),
+            threads: 0,
+        }
     }
 
     /// Sets the base random seed.
@@ -58,9 +73,72 @@ impl TrajectorySimulator {
         self
     }
 
+    /// Sets the worker-thread count for the trajectory loop (`0` =
+    /// automatic). Estimates are bitwise independent of this setting.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
     /// Number of trajectories.
     pub fn n_trajectories(&self) -> usize {
         self.n_trajectories
+    }
+
+    fn resolved_threads(&self) -> usize {
+        if self.threads == 0 {
+            par::max_threads()
+        } else {
+            self.threads
+        }
+    }
+
+    /// Maps `f` over the final state of every trajectory, in parallel, and
+    /// returns the per-trajectory results in trajectory order.
+    fn map_trajectories<T: Send>(
+        &self,
+        circuit: &Circuit,
+        f: impl Fn(usize, &QuditState) -> Result<T> + Sync,
+    ) -> Result<Vec<T>> {
+        let mut all = Vec::with_capacity(self.n_trajectories);
+        self.fold_trajectories(circuit, f, &mut all, |acc, value| acc.push(value))?;
+        Ok(all)
+    }
+
+    /// Runs every trajectory, maps its final state with `f`, and folds the
+    /// mapped values into `acc` **in trajectory order**. Trajectories are
+    /// evaluated in bounded parallel batches, so peak memory holds one
+    /// mapped value per in-flight trajectory (≤ one batch), not one per
+    /// trajectory — `outcome_distribution` on a large register folds each
+    /// probability vector away as soon as its batch completes.
+    fn fold_trajectories<T: Send, A>(
+        &self,
+        circuit: &Circuit,
+        f: impl Fn(usize, &QuditState) -> Result<T> + Sync,
+        acc: &mut A,
+        mut fold: impl FnMut(&mut A, T),
+    ) -> Result<()> {
+        let kernels = CircuitKernels::new(circuit, &self.noise)?;
+        let initial = QuditState::zero(circuit.dims().to_vec()).map_err(CircuitError::Core)?;
+        let sv = StatevectorSimulator::new().with_noise(self.noise.clone());
+        let threads = self.resolved_threads();
+        let batch = threads.max(1) * 4;
+        let mut start = 0;
+        while start < self.n_trajectories {
+            let len = batch.min(self.n_trajectories - start);
+            let results = par::par_map_threads(len, threads, |i| {
+                let t = start + i;
+                let mut rng = StdRng::seed_from_u64(self.traj_seed(t));
+                let out = sv.run_prepared(circuit, &kernels, &initial, &mut rng)?;
+                f(t, &out.state)
+            });
+            for r in results {
+                fold(acc, r?);
+            }
+            start += len;
+        }
+        Ok(())
     }
 
     /// Trajectory-averaged expectation value of an observable on the final
@@ -73,11 +151,7 @@ impl TrajectorySimulator {
         circuit: &Circuit,
         observable: &Observable,
     ) -> Result<TrajectoryEstimate> {
-        let mut values = Vec::with_capacity(self.n_trajectories);
-        for t in 0..self.n_trajectories {
-            let state = self.run_single(circuit, t)?;
-            values.push(observable.expectation(&state)?);
-        }
+        let values = self.map_trajectories(circuit, |_, state| observable.expectation(state))?;
         Ok(estimate(&values))
     }
 
@@ -87,12 +161,16 @@ impl TrajectorySimulator {
     /// Returns an error for invalid instructions.
     pub fn outcome_distribution(&self, circuit: &Circuit) -> Result<Vec<f64>> {
         let mut acc = vec![0.0; circuit.total_dim()];
-        for t in 0..self.n_trajectories {
-            let state = self.run_single(circuit, t)?;
-            for (i, p) in state.probabilities().iter().enumerate() {
-                acc[i] += p;
-            }
-        }
+        self.fold_trajectories(
+            circuit,
+            |_, state| Ok(state.probabilities()),
+            &mut acc,
+            |acc, probs| {
+                for (a, p) in acc.iter_mut().zip(probs.iter()) {
+                    *a += p;
+                }
+            },
+        )?;
         for p in &mut acc {
             *p /= self.n_trajectories as f64;
         }
@@ -109,12 +187,13 @@ impl TrajectorySimulator {
         circuit: &Circuit,
         shots_per_trajectory: usize,
     ) -> Result<HashMap<Vec<usize>, usize>> {
-        let mut counts: HashMap<Vec<usize>, usize> = HashMap::new();
-        for t in 0..self.n_trajectories {
-            let state = self.run_single(circuit, t)?;
+        let per_traj = self.map_trajectories(circuit, |t, state| {
             let mut rng = StdRng::seed_from_u64(self.traj_seed(t).wrapping_add(0xABCD));
+            let cdf = state.cdf();
+            let radix = state.radix();
+            let mut counts: HashMap<Vec<usize>, usize> = HashMap::new();
             for _ in 0..shots_per_trajectory {
-                let mut digits = state.sample(&mut rng);
+                let mut digits = radix.digits_of(cdf.draw(&mut rng)).expect("index in range");
                 crate::sim::apply_readout_flip(
                     &mut digits,
                     circuit.dims(),
@@ -122,6 +201,13 @@ impl TrajectorySimulator {
                     &mut rng,
                 );
                 *counts.entry(digits).or_insert(0) += 1;
+            }
+            Ok(counts)
+        })?;
+        let mut counts: HashMap<Vec<usize>, usize> = HashMap::new();
+        for traj_counts in per_traj {
+            for (digits, n) in traj_counts {
+                *counts.entry(digits).or_insert(0) += n;
             }
         }
         Ok(counts)
@@ -132,8 +218,8 @@ impl TrajectorySimulator {
     /// # Errors
     /// Returns an error for invalid instructions.
     pub fn run_single(&self, circuit: &Circuit, index: usize) -> Result<QuditState> {
-        let sv = StatevectorSimulator::with_seed(self.traj_seed(index))
-            .with_noise(self.noise.clone());
+        let sv =
+            StatevectorSimulator::with_seed(self.traj_seed(index)).with_noise(self.noise.clone());
         let initial = QuditState::zero(circuit.dims().to_vec()).map_err(CircuitError::Core)?;
         let mut rng = StdRng::seed_from_u64(self.traj_seed(index));
         Ok(sv.run_from_with_rng(circuit, &initial, &mut rng)?.state)
@@ -183,10 +269,8 @@ mod tests {
         let noise = NoiseModel::cavity(0.08, 0.15, 0.0);
         let obs = Observable::number(1, 3);
 
-        let exact = DensityMatrixSimulator::new()
-            .with_noise(noise.clone())
-            .expectation(&c, &obs)
-            .unwrap();
+        let exact =
+            DensityMatrixSimulator::new().with_noise(noise.clone()).expectation(&c, &obs).unwrap();
         let est = TrajectorySimulator::new(600)
             .with_seed(17)
             .with_noise(noise)
@@ -226,10 +310,16 @@ mod tests {
         c.push(Gate::fourier(4), &[0]).unwrap();
         let noise = NoiseModel::depolarizing(0.1, 0.1);
         let obs = Observable::number(0, 4);
-        let a = TrajectorySimulator::new(30).with_seed(5).with_noise(noise.clone())
-            .expectation(&c, &obs).unwrap();
-        let b = TrajectorySimulator::new(30).with_seed(5).with_noise(noise)
-            .expectation(&c, &obs).unwrap();
+        let a = TrajectorySimulator::new(30)
+            .with_seed(5)
+            .with_noise(noise.clone())
+            .expectation(&c, &obs)
+            .unwrap();
+        let b = TrajectorySimulator::new(30)
+            .with_seed(5)
+            .with_noise(noise)
+            .expectation(&c, &obs)
+            .unwrap();
         assert_eq!(a.mean, b.mean);
     }
 }

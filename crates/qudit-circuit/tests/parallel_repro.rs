@@ -1,0 +1,111 @@
+//! Parallel-execution invariants: trajectory and shot loops must produce
+//! results that are bitwise independent of the worker-thread count, and
+//! reproducible from a fixed seed.
+
+use qudit_circuit::gate::Gate;
+use qudit_circuit::noise::NoiseModel;
+use qudit_circuit::sim::{StatevectorSimulator, TrajectorySimulator};
+use qudit_circuit::{Circuit, Observable};
+
+fn noisy_circuit() -> Circuit {
+    let mut c = Circuit::uniform(3, 3);
+    c.push(Gate::fourier(3), &[0]).unwrap();
+    c.push(Gate::csum(3, 3), &[0, 1]).unwrap();
+    c.push(Gate::csum(3, 3), &[1, 2]).unwrap();
+    c.push(Gate::shift_x(3), &[2]).unwrap();
+    c
+}
+
+#[test]
+fn trajectory_expectation_is_bitwise_thread_invariant() {
+    let c = noisy_circuit();
+    let noise = NoiseModel::cavity(0.08, 0.15, 0.0);
+    let obs = Observable::number(1, 3);
+    let estimates: Vec<_> = [1usize, 2, 4, 8]
+        .iter()
+        .map(|&threads| {
+            TrajectorySimulator::new(48)
+                .with_seed(17)
+                .with_noise(noise.clone())
+                .with_threads(threads)
+                .expectation(&c, &obs)
+                .unwrap()
+        })
+        .collect();
+    for est in &estimates[1..] {
+        // Bitwise: the reduction order is fixed, not merely statistically equal.
+        assert_eq!(est.mean.to_bits(), estimates[0].mean.to_bits());
+        assert_eq!(est.std_error.to_bits(), estimates[0].std_error.to_bits());
+    }
+}
+
+#[test]
+fn trajectory_outcome_distribution_is_thread_invariant() {
+    let c = noisy_circuit();
+    let noise = NoiseModel::depolarizing(0.05, 0.1);
+    let serial = TrajectorySimulator::new(32)
+        .with_seed(3)
+        .with_noise(noise.clone())
+        .with_threads(1)
+        .outcome_distribution(&c)
+        .unwrap();
+    let parallel = TrajectorySimulator::new(32)
+        .with_seed(3)
+        .with_noise(noise)
+        .with_threads(4)
+        .outcome_distribution(&c)
+        .unwrap();
+    assert_eq!(serial.len(), parallel.len());
+    for (s, p) in serial.iter().zip(parallel.iter()) {
+        assert_eq!(s.to_bits(), p.to_bits());
+    }
+}
+
+#[test]
+fn trajectory_sample_counts_are_thread_invariant() {
+    let c = noisy_circuit();
+    let noise = NoiseModel::cavity(0.1, 0.2, 0.0).with_readout_flip(0.02);
+    let serial = TrajectorySimulator::new(16)
+        .with_seed(9)
+        .with_noise(noise.clone())
+        .with_threads(1)
+        .sample_counts(&c, 200)
+        .unwrap();
+    let parallel = TrajectorySimulator::new(16)
+        .with_seed(9)
+        .with_noise(noise)
+        .with_threads(4)
+        .sample_counts(&c, 200)
+        .unwrap();
+    assert_eq!(serial, parallel);
+    assert_eq!(serial.values().sum::<usize>(), 16 * 200);
+}
+
+#[test]
+fn parallel_estimates_are_reproducible_for_fixed_seed() {
+    let c = noisy_circuit();
+    let noise = NoiseModel::depolarizing(0.1, 0.1);
+    let obs = Observable::number(0, 3);
+    let a = TrajectorySimulator::new(64)
+        .with_seed(5)
+        .with_noise(noise.clone())
+        .expectation(&c, &obs)
+        .unwrap();
+    let b =
+        TrajectorySimulator::new(64).with_seed(5).with_noise(noise).expectation(&c, &obs).unwrap();
+    assert_eq!(a.mean.to_bits(), b.mean.to_bits());
+    assert_eq!(a.std_error.to_bits(), b.std_error.to_bits());
+    assert_eq!(a.n_trajectories, 64);
+}
+
+#[test]
+fn stochastic_statevector_shots_are_thread_invariant() {
+    let mut c = noisy_circuit();
+    c.measure(&[0]).unwrap(); // forces per-shot re-runs
+    let serial =
+        StatevectorSimulator::with_seed(33).with_threads(1).sample_counts(&c, 400).unwrap();
+    let parallel =
+        StatevectorSimulator::with_seed(33).with_threads(8).sample_counts(&c, 400).unwrap();
+    assert_eq!(serial, parallel);
+    assert_eq!(serial.values().sum::<usize>(), 400);
+}

@@ -81,8 +81,7 @@ impl InteractionProfile {
                 if targets.len() >= 2 {
                     for i in 0..targets.len() {
                         for j in (i + 1)..targets.len() {
-                            let key =
-                                (targets[i].min(targets[j]), targets[i].max(targets[j]));
+                            let key = (targets[i].min(targets[j]), targets[i].max(targets[j]));
                             *pair_weight.entry(key).or_insert(0.0) += 1.0;
                         }
                     }
@@ -148,10 +147,7 @@ fn noise_aware_assignment(circuit: &Circuit, device: &Device) -> Result<Vec<usiz
 
     let dims_ok = |assignment: &[usize]| -> bool {
         assignment.iter().enumerate().all(|(logical, &mode)| {
-            device
-                .mode(mode)
-                .map(|m| m.dim >= circuit.dims()[logical])
-                .unwrap_or(false)
+            device.mode(mode).map(|m| m.dim >= circuit.dims()[logical]).unwrap_or(false)
         })
     };
 
@@ -262,7 +258,8 @@ pub fn estimate_mapped_fidelity(
                     device.durations.csum_inter_us
                 };
                 // Each extra hop requires a pair of mode swaps (beam splitters).
-                let routing = dist.saturating_sub(1) as f64 * 2.0 * device.durations.beam_splitter_us;
+                let routing =
+                    dist.saturating_sub(1) as f64 * 2.0 * device.durations.beam_splitter_us;
                 device.two_mode_error(a, b, base + routing).map_err(CompilerError::Cavity)?
             };
             log_success += (1.0 - error.min(0.999_999)).ln();
@@ -303,11 +300,9 @@ mod tests {
     fn all_strategies_produce_valid_injective_mappings() {
         let c = ladder_circuit(4, 4);
         let dev = Device::testbed();
-        for strategy in [
-            MappingStrategy::NoiseAware,
-            MappingStrategy::RoundRobin,
-            MappingStrategy::Random(3),
-        ] {
+        for strategy in
+            [MappingStrategy::NoiseAware, MappingStrategy::RoundRobin, MappingStrategy::Random(3)]
+        {
             let m = map_circuit(&c, &dev, strategy).unwrap();
             assert_eq!(m.len(), 4);
             let mut seen = m.logical_to_physical.clone();

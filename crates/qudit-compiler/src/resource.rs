@@ -138,8 +138,7 @@ mod tests {
     fn estimate_counts_match_circuit() {
         let c = trotter_like_circuit(4, 4, 2);
         let dev = Device::testbed();
-        let est =
-            estimate_resources("test", &c, &dev, MappingStrategy::NoiseAware).unwrap();
+        let est = estimate_resources("test", &c, &dev, MappingStrategy::NoiseAware).unwrap();
         assert_eq!(est.logical_qudits, 4);
         assert_eq!(est.gate_count, c.gate_count());
         assert_eq!(est.entangling_gate_count, 12);
@@ -154,8 +153,8 @@ mod tests {
         // Table-I row 1: 9×2 lattice, d = 4, a couple of Trotter layers.
         let c = trotter_like_circuit(18, 4, 2);
         let dev = Device::forecast();
-        let est = estimate_resources("sQED 9x2 d=4", &c, &dev, MappingStrategy::NoiseAware)
-            .unwrap();
+        let est =
+            estimate_resources("sQED 9x2 d=4", &c, &dev, MappingStrategy::NoiseAware).unwrap();
         assert!(est.coherence_feasible, "duration/T1 = {}", est.duration_over_t1);
         assert_eq!(est.logical_qudits, 18);
     }
@@ -164,10 +163,8 @@ mod tests {
     fn noise_aware_estimate_not_worse_than_round_robin() {
         let c = trotter_like_circuit(6, 4, 3);
         let dev = Device::forecast();
-        let aware =
-            estimate_resources("aware", &c, &dev, MappingStrategy::NoiseAware).unwrap();
-        let naive =
-            estimate_resources("naive", &c, &dev, MappingStrategy::RoundRobin).unwrap();
+        let aware = estimate_resources("aware", &c, &dev, MappingStrategy::NoiseAware).unwrap();
+        let naive = estimate_resources("naive", &c, &dev, MappingStrategy::RoundRobin).unwrap();
         assert!(aware.estimated_fidelity >= naive.estimated_fidelity * 0.999);
     }
 

@@ -78,8 +78,9 @@ pub fn route(circuit: &Circuit, device: &Device, mapping: &Mapping) -> Result<Ro
             Instruction::Unitary { gate, targets } => {
                 if targets.len() == 1 {
                     let mode = placement[targets[0]];
-                    let error =
-                        device.single_mode_error(mode, single_duration).map_err(CompilerError::Cavity)?;
+                    let error = device
+                        .single_mode_error(mode, single_duration)
+                        .map_err(CompilerError::Cavity)?;
                     ops.push(PhysicalOp {
                         name: gate.name().to_string(),
                         modes: vec![mode],
@@ -193,9 +194,7 @@ fn next_step_mode(device: &Device, from: usize, towards: usize) -> Result<usize>
         }
     }
     best.ok_or_else(|| {
-        CompilerError::RoutingFailed(format!(
-            "no usable transit mode in module {next_module}"
-        ))
+        CompilerError::RoutingFailed(format!("no usable transit mode in module {next_module}"))
     })
 }
 

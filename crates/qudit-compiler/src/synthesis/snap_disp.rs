@@ -207,12 +207,7 @@ fn build_ansatz(sim_dim: usize, params: &SnapDispParams) -> CMatrix {
     u
 }
 
-fn fidelity_of(
-    sim_dim: usize,
-    d: usize,
-    params: &SnapDispParams,
-    target: &CMatrix,
-) -> Result<f64> {
+fn fidelity_of(sim_dim: usize, d: usize, params: &SnapDispParams, target: &CMatrix) -> Result<f64> {
     let full = build_ansatz(sim_dim, params);
     let truncated = full.truncated(d);
     // Penalise leakage out of the computational subspace: the truncated block
@@ -261,12 +256,14 @@ mod tests {
     #[test]
     fn more_layers_do_not_hurt() {
         let target = gates::fourier(3);
-        let shallow = SnapDispSynthesizer { layers: 1, max_iterations: 1500, seed: 3, ..Default::default() }
-            .synthesize(&target)
-            .unwrap();
-        let deep = SnapDispSynthesizer { layers: 6, max_iterations: 1500, seed: 3, ..Default::default() }
-            .synthesize(&target)
-            .unwrap();
+        let shallow =
+            SnapDispSynthesizer { layers: 1, max_iterations: 1500, seed: 3, ..Default::default() }
+                .synthesize(&target)
+                .unwrap();
+        let deep =
+            SnapDispSynthesizer { layers: 6, max_iterations: 1500, seed: 3, ..Default::default() }
+                .synthesize(&target)
+                .unwrap();
         assert!(deep.fidelity >= shallow.fidelity - 0.05);
     }
 
@@ -279,10 +276,7 @@ mod tests {
             target_fidelity: 0.9999,
             ..Default::default()
         };
-        assert!(matches!(
-            synth.synthesize_to(&target),
-            Err(CompilerError::SynthesisFailed { .. })
-        ));
+        assert!(matches!(synth.synthesize_to(&target), Err(CompilerError::SynthesisFailed { .. })));
     }
 
     #[test]
@@ -304,7 +298,8 @@ mod tests {
     #[test]
     fn deterministic_for_fixed_seed() {
         let target = gates::fourier(3);
-        let synth = SnapDispSynthesizer { layers: 3, max_iterations: 500, seed: 99, ..Default::default() };
+        let synth =
+            SnapDispSynthesizer { layers: 3, max_iterations: 500, seed: 99, ..Default::default() };
         let a = synth.synthesize(&target).unwrap();
         let b = synth.synthesize(&target).unwrap();
         assert_eq!(a.fidelity, b.fidelity);

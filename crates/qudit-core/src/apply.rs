@@ -1,0 +1,656 @@
+//! Precomputed stride plans for applying operators to sub-registers.
+//!
+//! Applying a `k`-qudit operator to an `n`-qudit register touches the state
+//! vector in `spectator_count` independent blocks of `sub_dim` strided
+//! amplitudes. The seed implementation recomputed the block geometry (target
+//! strides, sub-offsets, spectator enumeration) on every call; an
+//! [`ApplyPlan`] computes it **once** per `(register, targets)` pair so the
+//! circuit simulators can reuse it across instructions, shots and
+//! trajectories.
+//!
+//! Orthogonally, [`OpKind`] classifies an operator matrix by structure:
+//!
+//! * **Diagonal** — SNAP gates, phase gates, the electric/mass terms of
+//!   Trotterised Hamiltonians, dephasing Kraus operators. Application is one
+//!   multiply per amplitude, no gather/scatter.
+//! * **Monomial** (at most one non-zero per column) — shift `X`, Weyl
+//!   operators, CSUM/permutation gates, annihilation-type Kraus operators.
+//!   Application is one multiply plus a scatter per amplitude.
+//! * **Dense** — everything else; gather/apply/scatter per block.
+//!
+//! Both classifications use *exact* zero tests, so they can never mistake a
+//! dense operator for a structured one; gates constructed by the gate
+//! library produce exact zeros in their sparsity patterns.
+//!
+//! The same plan drives measurement-side kernels: marginal probabilities,
+//! collapse, expectation values, reduced density matrices and Kraus-branch
+//! norms, all without the per-amplitude digit decompositions the seed used.
+
+use crate::complex::Complex64;
+use crate::error::{CoreError, Result};
+use crate::matrix::CMatrix;
+use crate::radix::Radix;
+
+/// Structural classification of an operator matrix (see module docs).
+#[derive(Debug, Clone, PartialEq)]
+pub enum OpKind {
+    /// Diagonal operator; holds the diagonal entries.
+    Diagonal(Vec<Complex64>),
+    /// At most one non-zero per column: column `c` maps to `rows[c]` with
+    /// coefficient `coeffs[c]` (possibly zero for a zero column).
+    /// `injective` records whether all populated rows are distinct.
+    Monomial {
+        /// Destination row per column.
+        rows: Vec<usize>,
+        /// Coefficient per column.
+        coeffs: Vec<Complex64>,
+        /// True if no two non-zero columns share a destination row.
+        injective: bool,
+    },
+    /// No exploitable structure.
+    Dense,
+}
+
+impl OpKind {
+    /// Classifies a square operator by exact sparsity structure.
+    ///
+    /// Non-square input is reported as [`OpKind::Dense`]; the apply kernels
+    /// reject it by shape before touching any data.
+    pub fn classify(op: &CMatrix) -> OpKind {
+        let n = op.rows();
+        if n != op.cols() {
+            return OpKind::Dense;
+        }
+        let mut diagonal = true;
+        let mut rows = vec![0usize; n];
+        let mut coeffs = vec![Complex64::ZERO; n];
+        for c in 0..n {
+            let mut nonzeros = 0usize;
+            for r in 0..n {
+                let v = op.get(r, c);
+                if v != Complex64::ZERO {
+                    nonzeros += 1;
+                    if nonzeros > 1 {
+                        return OpKind::Dense;
+                    }
+                    rows[c] = r;
+                    coeffs[c] = v;
+                    if r != c {
+                        diagonal = false;
+                    }
+                }
+            }
+            if nonzeros == 0 {
+                // Zero column: park it on its own diagonal slot.
+                rows[c] = c;
+            }
+        }
+        if diagonal {
+            return OpKind::Diagonal(coeffs);
+        }
+        let mut seen = vec![false; n];
+        let mut injective = true;
+        for c in 0..n {
+            if coeffs[c] != Complex64::ZERO {
+                if seen[rows[c]] {
+                    injective = false;
+                    break;
+                }
+                seen[rows[c]] = true;
+            }
+        }
+        OpKind::Monomial { rows, coeffs, injective }
+    }
+}
+
+/// A reusable stride plan for one `(register, targets)` pair (see module
+/// docs). Plans are immutable after construction and `Sync`, so one plan can
+/// serve many threads; per-thread mutable scratch is passed into the kernels.
+#[derive(Debug, Clone)]
+pub struct ApplyPlan {
+    total_dim: usize,
+    sub_dim: usize,
+    /// Flat-index offset of each target-subspace basis state relative to a
+    /// spectator base index.
+    sub_offsets: Vec<usize>,
+    spectator_dims: Vec<usize>,
+    spectator_strides: Vec<usize>,
+    spectator_count: usize,
+}
+
+impl ApplyPlan {
+    /// Builds the plan for operators acting on `targets` (in the given
+    /// order, first target most significant) of a register.
+    ///
+    /// # Errors
+    /// Returns an error for out-of-range or duplicate targets.
+    pub fn new(radix: &Radix, targets: &[usize]) -> Result<Self> {
+        let sub_dim = radix.subspace_dim(targets)?;
+        let dims = radix.dims();
+        let target_strides: Vec<usize> =
+            targets.iter().map(|&t| radix.stride(t).expect("validated")).collect();
+        let target_dims: Vec<usize> = targets.iter().map(|&t| dims[t]).collect();
+
+        // sub_offsets by counting through the target digit string directly.
+        let mut sub_offsets = vec![0usize; sub_dim];
+        let mut digits = vec![0usize; targets.len()];
+        for (sub_idx, offset) in sub_offsets.iter_mut().enumerate() {
+            if sub_idx > 0 {
+                for k in (0..digits.len()).rev() {
+                    digits[k] += 1;
+                    if digits[k] < target_dims[k] {
+                        break;
+                    }
+                    digits[k] = 0;
+                }
+            }
+            *offset = digits.iter().zip(target_strides.iter()).map(|(&d, &s)| d * s).sum();
+        }
+
+        let spectators: Vec<usize> = (0..radix.len()).filter(|k| !targets.contains(k)).collect();
+        let spectator_dims: Vec<usize> = spectators.iter().map(|&k| dims[k]).collect();
+        let spectator_strides: Vec<usize> =
+            spectators.iter().map(|&k| radix.stride(k).expect("validated")).collect();
+        let spectator_count = spectator_dims.iter().product::<usize>().max(1);
+
+        Ok(Self {
+            total_dim: radix.total_dim(),
+            sub_dim,
+            sub_offsets,
+            spectator_dims,
+            spectator_strides,
+            spectator_count,
+        })
+    }
+
+    /// Dimension of the target subspace.
+    #[inline]
+    pub fn sub_dim(&self) -> usize {
+        self.sub_dim
+    }
+
+    /// Number of independent amplitude blocks (spectator configurations).
+    #[inline]
+    pub fn spectator_count(&self) -> usize {
+        self.spectator_count
+    }
+
+    /// Total register dimension the plan was built for.
+    #[inline]
+    pub fn total_dim(&self) -> usize {
+        self.total_dim
+    }
+
+    /// Offsets of the target-subspace basis states within a block.
+    #[inline]
+    pub fn sub_offsets(&self) -> &[usize] {
+        &self.sub_offsets
+    }
+
+    /// Invokes `f(base)` for every spectator configuration, where `base` is
+    /// the flat index with all target digits zero.
+    #[inline]
+    pub fn for_each_block(&self, mut f: impl FnMut(usize)) {
+        let k = self.spectator_dims.len();
+        if k == 0 {
+            f(0);
+            return;
+        }
+        let mut digits = vec![0usize; k];
+        let mut base = 0usize;
+        loop {
+            f(base);
+            // Odometer increment, updating `base` incrementally.
+            let mut pos = k;
+            loop {
+                if pos == 0 {
+                    return;
+                }
+                pos -= 1;
+                digits[pos] += 1;
+                base += self.spectator_strides[pos];
+                if digits[pos] < self.spectator_dims[pos] {
+                    break;
+                }
+                base -= self.spectator_dims[pos] * self.spectator_strides[pos];
+                digits[pos] = 0;
+            }
+        }
+    }
+
+    fn check_op(&self, op_dim: usize) -> Result<()> {
+        if op_dim != self.sub_dim {
+            return Err(CoreError::ShapeMismatch {
+                expected: format!("{0}x{0} operator", self.sub_dim),
+                found: format!("{0}x{0}", op_dim),
+            });
+        }
+        Ok(())
+    }
+
+    /// Full shape check for dense kernels: both dimensions must match the
+    /// target subspace (a non-square operator must never reach the block
+    /// loops, where only the row count would otherwise be consulted).
+    fn check_op_matrix(&self, op: &CMatrix) -> Result<()> {
+        if op.rows() != self.sub_dim || op.cols() != self.sub_dim {
+            return Err(CoreError::ShapeMismatch {
+                expected: format!("{0}x{0} operator", self.sub_dim),
+                found: format!("{}x{}", op.rows(), op.cols()),
+            });
+        }
+        Ok(())
+    }
+
+    /// Applies `op` (with precomputed `kind`) to a flat amplitude slice.
+    ///
+    /// `scratch` is caller-provided working memory, resized as needed; reuse
+    /// it across calls to stay allocation-free.
+    ///
+    /// # Errors
+    /// Returns an error if `op` or the slice have the wrong dimension.
+    pub fn apply(
+        &self,
+        kind: &OpKind,
+        op: &CMatrix,
+        amps: &mut [Complex64],
+        scratch: &mut Vec<Complex64>,
+    ) -> Result<()> {
+        self.apply_strided(kind, op, amps, 1, 0, scratch)
+    }
+
+    /// Strided variant of [`ApplyPlan::apply`]: register index `i` lives at
+    /// `data[offset + stride * i]`. Used by the density-matrix simulator to
+    /// run the same kernels down matrix columns (`stride = n, offset = j`)
+    /// and across rows (`stride = 1, offset = i * n`).
+    ///
+    /// # Errors
+    /// Returns an error if `op` or the addressed span have the wrong
+    /// dimension.
+    pub fn apply_strided(
+        &self,
+        kind: &OpKind,
+        op: &CMatrix,
+        data: &mut [Complex64],
+        stride: usize,
+        offset: usize,
+        scratch: &mut Vec<Complex64>,
+    ) -> Result<()> {
+        self.check_span(data.len(), stride, offset)?;
+        match kind {
+            OpKind::Diagonal(diag) => {
+                self.check_op(diag.len())?;
+                self.for_each_block(|base| {
+                    for (j, d) in diag.iter().enumerate() {
+                        let idx = offset + stride * (base + self.sub_offsets[j]);
+                        data[idx] *= *d;
+                    }
+                });
+            }
+            OpKind::Monomial { rows, coeffs, .. } => {
+                self.check_op(rows.len())?;
+                scratch.resize(self.sub_dim, Complex64::ZERO);
+                self.for_each_block(|base| {
+                    for (j, s) in scratch.iter_mut().enumerate() {
+                        let idx = offset + stride * (base + self.sub_offsets[j]);
+                        *s = data[idx];
+                        data[idx] = Complex64::ZERO;
+                    }
+                    for (c, (&r, &coeff)) in rows.iter().zip(coeffs.iter()).enumerate() {
+                        if coeff != Complex64::ZERO {
+                            let idx = offset + stride * (base + self.sub_offsets[r]);
+                            data[idx] += coeff * scratch[c];
+                        }
+                    }
+                });
+            }
+            OpKind::Dense => {
+                self.check_op_matrix(op)?;
+                scratch.resize(self.sub_dim, Complex64::ZERO);
+                self.for_each_block(|base| {
+                    for (j, s) in scratch.iter_mut().enumerate() {
+                        *s = data[offset + stride * (base + self.sub_offsets[j])];
+                    }
+                    for (row, &off) in self.sub_offsets.iter().enumerate() {
+                        let op_row = op.row(row);
+                        let mut acc = Complex64::ZERO;
+                        for (col, s) in scratch.iter().enumerate() {
+                            acc = op_row[col].mul_add(*s, acc);
+                        }
+                        data[offset + stride * (base + off)] = acc;
+                    }
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Computes `‖op · ψ‖²` without materialising `op · ψ`, used to select
+    /// Kraus branches in trajectory unravelling.
+    ///
+    /// # Errors
+    /// Returns an error on dimension mismatch.
+    pub fn norm_sqr_after(
+        &self,
+        kind: &OpKind,
+        op: &CMatrix,
+        amps: &[Complex64],
+        scratch: &mut Vec<Complex64>,
+    ) -> Result<f64> {
+        self.check_span(amps.len(), 1, 0)?;
+        let mut acc = 0.0f64;
+        match kind {
+            OpKind::Diagonal(diag) => {
+                self.check_op(diag.len())?;
+                self.for_each_block(|base| {
+                    for (j, d) in diag.iter().enumerate() {
+                        acc += d.norm_sqr() * amps[base + self.sub_offsets[j]].norm_sqr();
+                    }
+                });
+            }
+            OpKind::Monomial { rows, coeffs, injective } if *injective => {
+                let _ = rows;
+                self.check_op(coeffs.len())?;
+                self.for_each_block(|base| {
+                    for (c, coeff) in coeffs.iter().enumerate() {
+                        acc += coeff.norm_sqr() * amps[base + self.sub_offsets[c]].norm_sqr();
+                    }
+                });
+            }
+            _ => {
+                self.check_op_matrix(op)?;
+                scratch.resize(self.sub_dim, Complex64::ZERO);
+                self.for_each_block(|base| {
+                    for (j, s) in scratch.iter_mut().enumerate() {
+                        *s = amps[base + self.sub_offsets[j]];
+                    }
+                    for row in 0..self.sub_dim {
+                        let op_row = op.row(row);
+                        let mut sum = Complex64::ZERO;
+                        for (col, s) in scratch.iter().enumerate() {
+                            sum = op_row[col].mul_add(*s, sum);
+                        }
+                        acc += sum.norm_sqr();
+                    }
+                });
+            }
+        }
+        Ok(acc)
+    }
+
+    /// Expectation value `⟨ψ| op |ψ⟩` on the plan's targets, without cloning
+    /// or mutating the state.
+    ///
+    /// # Errors
+    /// Returns an error on dimension mismatch.
+    pub fn expectation(
+        &self,
+        kind: &OpKind,
+        op: &CMatrix,
+        amps: &[Complex64],
+        scratch: &mut Vec<Complex64>,
+    ) -> Result<Complex64> {
+        self.check_span(amps.len(), 1, 0)?;
+        let mut acc = Complex64::ZERO;
+        match kind {
+            OpKind::Diagonal(diag) => {
+                self.check_op(diag.len())?;
+                self.for_each_block(|base| {
+                    for (j, d) in diag.iter().enumerate() {
+                        acc += *d * amps[base + self.sub_offsets[j]].norm_sqr();
+                    }
+                });
+            }
+            OpKind::Monomial { rows, coeffs, .. } => {
+                self.check_op(rows.len())?;
+                self.for_each_block(|base| {
+                    for (c, (&r, &coeff)) in rows.iter().zip(coeffs.iter()).enumerate() {
+                        if coeff != Complex64::ZERO {
+                            let bra = amps[base + self.sub_offsets[r]].conj();
+                            acc += bra * coeff * amps[base + self.sub_offsets[c]];
+                        }
+                    }
+                });
+            }
+            OpKind::Dense => {
+                self.check_op_matrix(op)?;
+                scratch.resize(self.sub_dim, Complex64::ZERO);
+                self.for_each_block(|base| {
+                    for (j, s) in scratch.iter_mut().enumerate() {
+                        *s = amps[base + self.sub_offsets[j]];
+                    }
+                    for (row, &off) in self.sub_offsets.iter().enumerate() {
+                        let op_row = op.row(row);
+                        let mut sum = Complex64::ZERO;
+                        for (col, s) in scratch.iter().enumerate() {
+                            sum = op_row[col].mul_add(*s, sum);
+                        }
+                        acc += amps[base + off].conj() * sum;
+                    }
+                });
+            }
+        }
+        Ok(acc)
+    }
+
+    /// Marginal probability distribution over the plan's targets.
+    pub fn marginal_probabilities(&self, amps: &[Complex64]) -> Vec<f64> {
+        self.marginal_probabilities_strided(amps, 1, 0, |z| z.norm_sqr())
+    }
+
+    /// Strided marginal accumulation; `weight` maps a stored entry to its
+    /// probability mass (`|z|²` for amplitudes, `re` for a density-matrix
+    /// diagonal).
+    pub fn marginal_probabilities_strided(
+        &self,
+        data: &[Complex64],
+        stride: usize,
+        offset: usize,
+        weight: impl Fn(Complex64) -> f64,
+    ) -> Vec<f64> {
+        let mut probs = vec![0.0f64; self.sub_dim];
+        self.for_each_block(|base| {
+            for (j, p) in probs.iter_mut().enumerate() {
+                *p += weight(data[offset + stride * (base + self.sub_offsets[j])]);
+            }
+        });
+        probs
+    }
+
+    /// Zeroes every amplitude whose target digits differ from `outcome`
+    /// (projective collapse; renormalisation is the caller's business).
+    pub fn collapse(&self, amps: &mut [Complex64], outcome: usize) {
+        debug_assert!(outcome < self.sub_dim);
+        self.for_each_block(|base| {
+            for (j, &off) in self.sub_offsets.iter().enumerate() {
+                if j != outcome {
+                    amps[base + off] = Complex64::ZERO;
+                }
+            }
+        });
+    }
+
+    /// Reduced density matrix over the plan's targets:
+    /// `ρ[i, j] = Σ_spectators ψ[(i, s)] ψ*[(j, s)]`.
+    pub fn reduced_density(&self, amps: &[Complex64]) -> CMatrix {
+        let k = self.sub_dim;
+        let mut rho = CMatrix::zeros(k, k);
+        self.for_each_block(|base| {
+            let data = rho.as_mut_slice();
+            for (i, &off_i) in self.sub_offsets.iter().enumerate() {
+                let a_i = amps[base + off_i];
+                if a_i == Complex64::ZERO {
+                    continue;
+                }
+                for (j, &off_j) in self.sub_offsets.iter().enumerate() {
+                    data[i * k + j] += a_i * amps[base + off_j].conj();
+                }
+            }
+        });
+        rho
+    }
+
+    /// Partial trace of a density matrix stored row-major in `rho_data`
+    /// (dimension `total_dim × total_dim`), keeping the plan's targets.
+    pub fn partial_trace(&self, rho_data: &[Complex64]) -> CMatrix {
+        let k = self.sub_dim;
+        let n = self.total_dim;
+        debug_assert_eq!(rho_data.len(), n * n);
+        let mut out = CMatrix::zeros(k, k);
+        self.for_each_block(|base| {
+            let data = out.as_mut_slice();
+            for (i, &off_i) in self.sub_offsets.iter().enumerate() {
+                let row = (base + off_i) * n;
+                for (j, &off_j) in self.sub_offsets.iter().enumerate() {
+                    data[i * k + j] += rho_data[row + base + off_j];
+                }
+            }
+        });
+        out
+    }
+
+    fn check_span(&self, len: usize, stride: usize, offset: usize) -> Result<()> {
+        // Highest address touched: offset + stride * (total_dim - 1).
+        let needed = offset + stride.max(1) * (self.total_dim - 1) + 1;
+        if len < needed {
+            return Err(CoreError::ShapeMismatch {
+                expected: format!("at least {needed} entries"),
+                found: format!("{len} entries"),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::c64;
+
+    fn shift_x(d: usize) -> CMatrix {
+        let mut x = CMatrix::zeros(d, d);
+        for k in 0..d {
+            x[((k + 1) % d, k)] = c64(1.0, 0.0);
+        }
+        x
+    }
+
+    #[test]
+    fn classify_identifies_structure() {
+        assert!(matches!(OpKind::classify(&CMatrix::identity(3)), OpKind::Diagonal(_)));
+        assert!(matches!(
+            OpKind::classify(&CMatrix::diag(&[c64(1.0, 0.0), c64(0.0, 1.0)])),
+            OpKind::Diagonal(_)
+        ));
+        match OpKind::classify(&shift_x(4)) {
+            OpKind::Monomial { rows, injective, .. } => {
+                assert!(injective);
+                assert_eq!(rows, vec![1, 2, 3, 0]);
+            }
+            other => panic!("expected monomial, got {other:?}"),
+        }
+        // |0><0| + |0><1| maps two columns onto row 0: monomial, not injective.
+        let mut collapse = CMatrix::zeros(2, 2);
+        collapse[(0, 0)] = c64(1.0, 0.0);
+        collapse[(0, 1)] = c64(1.0, 0.0);
+        assert!(matches!(OpKind::classify(&collapse), OpKind::Monomial { injective: false, .. }));
+        let dense = CMatrix::from_fn(3, 3, |i, j| c64((i + j + 1) as f64, 0.0));
+        assert!(matches!(OpKind::classify(&dense), OpKind::Dense));
+    }
+
+    #[test]
+    fn block_enumeration_covers_every_spectator_config() {
+        let radix = Radix::new(vec![2, 3, 4, 2]).unwrap();
+        let plan = ApplyPlan::new(&radix, &[1, 3]).unwrap();
+        assert_eq!(plan.sub_dim(), 6);
+        assert_eq!(plan.spectator_count(), 8);
+        let mut bases = Vec::new();
+        plan.for_each_block(|b| bases.push(b));
+        assert_eq!(bases.len(), 8);
+        // Bases must be the flat indices with digits 1 and 3 zeroed.
+        let mut expected = Vec::new();
+        for idx in 0..radix.total_dim() {
+            let digits = radix.digits_of(idx).unwrap();
+            if digits[1] == 0 && digits[3] == 0 {
+                expected.push(idx);
+            }
+        }
+        bases.sort_unstable();
+        assert_eq!(bases, expected);
+    }
+
+    #[test]
+    fn strided_apply_matches_plain_apply() {
+        let radix = Radix::new(vec![2, 3]).unwrap();
+        let plan = ApplyPlan::new(&radix, &[1]).unwrap();
+        let op = shift_x(3);
+        let kind = OpKind::classify(&op);
+        let mut scratch = Vec::new();
+
+        let amps: Vec<Complex64> = (0..6).map(|i| c64(i as f64, -(i as f64))).collect();
+        let mut plain = amps.clone();
+        plan.apply(&kind, &op, &mut plain, &mut scratch).unwrap();
+
+        // Embed the same amplitudes at stride 2, offset 1.
+        let mut strided = vec![Complex64::ZERO; 13];
+        for (i, a) in amps.iter().enumerate() {
+            strided[1 + 2 * i] = *a;
+        }
+        plan.apply_strided(&kind, &op, &mut strided, 2, 1, &mut scratch).unwrap();
+        for (i, p) in plain.iter().enumerate() {
+            assert_eq!(strided[1 + 2 * i], *p);
+        }
+    }
+
+    #[test]
+    fn norm_after_agrees_with_materialised_application() {
+        let radix = Radix::new(vec![3, 2]).unwrap();
+        let plan = ApplyPlan::new(&radix, &[0]).unwrap();
+        let amps: Vec<Complex64> =
+            (0..6).map(|i| c64(0.1 * i as f64 + 0.2, 0.3 - 0.05 * i as f64)).collect();
+        let mut scratch = Vec::new();
+        for op in [
+            shift_x(3),
+            CMatrix::diag(&[c64(0.2, 0.0), c64(0.5, 0.5), c64(1.0, -0.3)]),
+            CMatrix::from_fn(3, 3, |i, j| c64(0.3 * (i as f64 + 1.0), 0.1 * j as f64)),
+        ] {
+            let kind = OpKind::classify(&op);
+            let lazy = plan.norm_sqr_after(&kind, &op, &amps, &mut scratch).unwrap();
+            let mut applied = amps.clone();
+            plan.apply(&kind, &op, &mut applied, &mut scratch).unwrap();
+            let eager: f64 = applied.iter().map(|z| z.norm_sqr()).sum();
+            assert!((lazy - eager).abs() < 1e-12, "{lazy} vs {eager}");
+        }
+    }
+
+    #[test]
+    fn wrong_operator_dimension_is_rejected() {
+        let radix = Radix::new(vec![2, 3]).unwrap();
+        let plan = ApplyPlan::new(&radix, &[0]).unwrap();
+        let op = shift_x(3);
+        let kind = OpKind::classify(&op);
+        let mut amps = vec![Complex64::ZERO; 6];
+        let mut scratch = Vec::new();
+        assert!(plan.apply(&kind, &op, &mut amps, &mut scratch).is_err());
+    }
+
+    #[test]
+    fn non_square_operator_is_rejected_not_truncated() {
+        // A 2x3 operator on a qubit target must error, not silently apply
+        // its top-left 2x2 block (release builds have no debug_asserts).
+        let radix = Radix::new(vec![2, 3]).unwrap();
+        let plan = ApplyPlan::new(&radix, &[0]).unwrap();
+        let wide = CMatrix::zeros(2, 3);
+        let kind = OpKind::classify(&wide);
+        assert_eq!(kind, OpKind::Dense, "non-square input must classify as Dense");
+        let mut amps = vec![Complex64::ONE; 6];
+        let mut scratch = Vec::new();
+        assert!(plan.apply(&kind, &wide, &mut amps, &mut scratch).is_err());
+        assert!(plan.norm_sqr_after(&kind, &wide, &amps, &mut scratch).is_err());
+        assert!(plan.expectation(&kind, &wide, &amps, &mut scratch).is_err());
+        assert!(amps.iter().all(|a| *a == Complex64::ONE), "state must be untouched");
+        // Tall operators too.
+        let tall = CMatrix::zeros(3, 2);
+        let kind = OpKind::classify(&tall);
+        assert!(plan.apply(&kind, &tall, &mut amps, &mut scratch).is_err());
+    }
+}

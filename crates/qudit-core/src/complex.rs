@@ -199,10 +199,7 @@ impl Mul for Complex64 {
     type Output = Complex64;
     #[inline(always)]
     fn mul(self, rhs: Self) -> Self {
-        Self {
-            re: self.re * rhs.re - self.im * rhs.im,
-            im: self.re * rhs.im + self.im * rhs.re,
-        }
+        Self { re: self.re * rhs.re - self.im * rhs.im, im: self.re * rhs.im + self.im * rhs.re }
     }
 }
 
@@ -407,7 +404,7 @@ mod tests {
 
     #[test]
     fn sum_iterator() {
-        let v = vec![c64(1.0, 1.0), c64(2.0, -0.5), c64(-3.0, 0.0)];
+        let v = [c64(1.0, 1.0), c64(2.0, -0.5), c64(-3.0, 0.0)];
         let s: Complex64 = v.iter().sum();
         assert!(s.approx_eq(c64(0.0, 0.5), TOL));
     }

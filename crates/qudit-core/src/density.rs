@@ -3,11 +3,13 @@
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
+use crate::apply::{ApplyPlan, OpKind};
 use crate::complex::{c64, Complex64};
 use crate::error::{CoreError, Result};
 use crate::linalg::eigh;
 use crate::matrix::CMatrix;
 use crate::radix::Radix;
+use crate::sampling::Cdf;
 use crate::state::QuditState;
 
 /// A density matrix over a mixed-radix qudit register.
@@ -145,12 +147,7 @@ impl DensityMatrix {
     /// Propagates eigendecomposition failures.
     pub fn von_neumann_entropy(&self) -> Result<f64> {
         let eig = eigh(&self.matrix)?;
-        Ok(eig
-            .values
-            .iter()
-            .filter(|&&l| l > 1e-15)
-            .map(|&l| -l * l.ln())
-            .sum())
+        Ok(eig.values.iter().filter(|&&l| l > 1e-15).map(|&l| -l * l.ln()).sum())
     }
 
     /// Checks physicality: Hermitian, unit trace and positive semi-definite
@@ -198,8 +195,9 @@ impl DensityMatrix {
     /// # Errors
     /// Returns an error for invalid targets or operator dimensions.
     pub fn apply_unitary(&mut self, u: &CMatrix, targets: &[usize]) -> Result<()> {
-        self.apply_left(u, targets)?;
-        self.apply_right_dagger(u, targets)
+        let plan = ApplyPlan::new(&self.radix, targets)?;
+        let mut scratch = Vec::new();
+        Self::sandwich(&plan, u, &mut self.matrix, &mut scratch)
     }
 
     /// Applies a Kraus channel `ρ → Σ_k K_k ρ K_k†` on the listed targets.
@@ -211,60 +209,44 @@ impl DensityMatrix {
         if kraus.is_empty() {
             return Err(CoreError::InvalidArgument("empty Kraus operator list".into()));
         }
-        let original = self.clone();
+        let plan = ApplyPlan::new(&self.radix, targets)?;
         let n = self.dim();
+        let mut scratch = Vec::new();
         let mut acc = CMatrix::zeros(n, n);
-        for k in kraus {
-            let mut term = original.clone();
-            term.apply_left(k, targets)?;
-            term.apply_right_dagger(k, targets)?;
-            acc += &term.matrix;
+        let mut term = self.matrix.clone();
+        for (i, k) in kraus.iter().enumerate() {
+            if i > 0 {
+                term.as_mut_slice().copy_from_slice(self.matrix.as_slice());
+            }
+            Self::sandwich(&plan, k, &mut term, &mut scratch)?;
+            acc += &term;
         }
         self.matrix = acc;
         Ok(())
     }
 
-    /// Applies `op` on the row (ket) index of the listed targets: `ρ → op ρ`.
-    fn apply_left(&mut self, op: &CMatrix, targets: &[usize]) -> Result<()> {
-        let sub_dim = self.radix.subspace_dim(targets)?;
-        if op.rows() != sub_dim || op.cols() != sub_dim {
-            return Err(CoreError::ShapeMismatch {
-                expected: format!("{sub_dim}x{sub_dim} operator"),
-                found: format!("{}x{}", op.rows(), op.cols()),
-            });
-        }
-        let n = self.dim();
-        // Treat each column of ρ as a state vector over the row index.
-        let mut col = vec![Complex64::ZERO; n];
+    /// `m → K m K†` through a precomputed plan, running the strided kernels
+    /// down each column (ket index) and across each row (bra index) without
+    /// materialising per-column state vectors.
+    fn sandwich(
+        plan: &ApplyPlan,
+        k: &CMatrix,
+        m: &mut CMatrix,
+        scratch: &mut Vec<Complex64>,
+    ) -> Result<()> {
+        let n = m.rows();
+        let kind = OpKind::classify(k);
+        // Left action: each column j is a state over the row index, stored at
+        // stride n starting at offset j.
         for j in 0..n {
-            for i in 0..n {
-                col[i] = self.matrix.get(i, j);
-            }
-            let mut state = QuditState::from_amplitudes_unchecked(self.radix.clone(), col.clone());
-            state.apply_operator(op, targets)?;
-            for (i, v) in state.amplitudes().iter().enumerate() {
-                self.matrix.set(i, j, *v);
-            }
+            plan.apply_strided(&kind, k, m.as_mut_slice(), n, j, scratch)?;
         }
-        Ok(())
-    }
-
-    /// Applies `op†` on the column (bra) index of the listed targets: `ρ → ρ op†`.
-    fn apply_right_dagger(&mut self, op: &CMatrix, targets: &[usize]) -> Result<()> {
-        // ρ op† = (op ρ†)†; use the Hermiticity-free identity via conjugates:
-        // (ρ op†)[i,j] = Σ_k ρ[i,k] conj(op[j,k]) — i.e. apply conj(op) along the
-        // column index. Implement by transposing, applying conj(op) on rows,
-        // transposing back.
-        let conj_op = op.conj();
-        let n = self.dim();
-        let mut row = vec![Complex64::ZERO; n];
+        // Right action by K†: (m K†)[i, j] = Σ_c m[i, c] conj(K[j, c]), i.e.
+        // apply conj(K) along each contiguous row.
+        let conj_k = k.conj();
+        let conj_kind = OpKind::classify(&conj_k);
         for i in 0..n {
-            row.copy_from_slice(self.matrix.row(i));
-            let mut state = QuditState::from_amplitudes_unchecked(self.radix.clone(), row.clone());
-            state.apply_operator(&conj_op, targets)?;
-            for (j, v) in state.amplitudes().iter().enumerate() {
-                self.matrix.set(i, j, *v);
-            }
+            plan.apply_strided(&conj_kind, &conj_k, m.as_mut_slice(), 1, i * n, scratch)?;
         }
         Ok(())
     }
@@ -281,15 +263,11 @@ impl DensityMatrix {
     /// # Errors
     /// Returns an error for invalid targets.
     pub fn marginal_probabilities(&self, targets: &[usize]) -> Result<Vec<f64>> {
-        let sub_dim = self.radix.subspace_dim(targets)?;
-        let target_radix = Radix::new(targets.iter().map(|&t| self.radix.dims()[t]).collect())?;
-        let mut probs = vec![0.0; sub_dim];
-        for (idx, p) in self.probabilities().iter().enumerate() {
-            let digits = self.radix.digits_of(idx)?;
-            let sub: Vec<usize> = targets.iter().map(|&t| digits[t]).collect();
-            probs[target_radix.index_of(&sub)?] += p;
-        }
-        Ok(probs)
+        let plan = ApplyPlan::new(&self.radix, targets)?;
+        // The diagonal of ρ lives at stride n + 1 in the row-major data.
+        Ok(plan.marginal_probabilities_strided(self.matrix.as_slice(), self.dim() + 1, 0, |z| {
+            z.re.max(0.0)
+        }))
     }
 
     /// Expectation value `Tr(ρ O)` of an operator acting on the listed targets.
@@ -297,45 +275,52 @@ impl DensityMatrix {
     /// # Errors
     /// Returns an error for invalid targets or operator dimensions.
     pub fn expectation(&self, op: &CMatrix, targets: &[usize]) -> Result<Complex64> {
-        let mut tmp = self.clone();
-        tmp.apply_left(op, targets)?;
-        Ok(tmp.matrix.trace())
+        // Tr(ρ O) = Σ_blocks Σ_{i,j} ρ[base+off_i, base+off_j] · op[j, i]:
+        // only the block-diagonal entries of ρ contribute, so there is no
+        // need to materialise O ρ.
+        let plan = ApplyPlan::new(&self.radix, targets)?;
+        let sub_dim = plan.sub_dim();
+        if op.rows() != sub_dim || op.cols() != sub_dim {
+            return Err(CoreError::ShapeMismatch {
+                expected: format!("{sub_dim}x{sub_dim} operator"),
+                found: format!("{}x{}", op.rows(), op.cols()),
+            });
+        }
+        let n = self.dim();
+        let data = self.matrix.as_slice();
+        let offsets = plan.sub_offsets().to_vec();
+        let mut acc = Complex64::ZERO;
+        plan.for_each_block(|base| {
+            for (i, &off_i) in offsets.iter().enumerate() {
+                let row = (base + off_i) * n + base;
+                for (j, &off_j) in offsets.iter().enumerate() {
+                    acc += data[row + off_j] * op.get(j, i);
+                }
+            }
+        });
+        Ok(acc)
     }
 
     /// Samples a computational-basis measurement of the full register without
     /// collapsing the state.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<usize> {
-        let probs = self.probabilities();
-        let total: f64 = probs.iter().sum();
-        let mut r: f64 = rng.gen::<f64>() * total;
-        let mut chosen = probs.len() - 1;
-        for (i, p) in probs.iter().enumerate() {
-            if r < *p {
-                chosen = i;
-                break;
-            }
-            r -= p;
-        }
+        let chosen = self.cdf().draw(rng);
         self.radix.digits_of(chosen).expect("index in range")
     }
 
+    /// Cumulative distribution over computational-basis outcomes (the
+    /// diagonal of ρ), for repeated sampling.
+    pub fn cdf(&self) -> Cdf {
+        Cdf::from_weights(self.probabilities())
+    }
+
     /// Samples `shots` computational-basis measurements, returning counts per
-    /// flat basis index.
+    /// flat basis index (cumulative distribution + binary search per shot).
     pub fn sample_counts<R: Rng + ?Sized>(&self, rng: &mut R, shots: usize) -> Vec<usize> {
-        let probs = self.probabilities();
-        let total: f64 = probs.iter().sum();
+        let cdf = self.cdf();
         let mut counts = vec![0usize; self.dim()];
         for _ in 0..shots {
-            let mut r: f64 = rng.gen::<f64>() * total;
-            let mut chosen = probs.len() - 1;
-            for (i, p) in probs.iter().enumerate() {
-                if r < *p {
-                    chosen = i;
-                    break;
-                }
-                r -= p;
-            }
-            counts[chosen] += 1;
+            counts[cdf.draw(rng)] += 1;
         }
         counts
     }
@@ -349,24 +334,8 @@ impl DensityMatrix {
             self.radix.check_targets(keep)?;
             keep.iter().map(|&t| self.radix.dims()[t]).collect()
         };
-        let keep_radix = Radix::new(keep_dims.clone())?;
-        let keep_dim = keep_radix.total_dim();
-        let mut out = CMatrix::zeros(keep_dim, keep_dim);
-        let env: Vec<usize> = (0..self.radix.len()).filter(|k| !keep.contains(k)).collect();
-        for row in 0..self.dim() {
-            let row_digits = self.radix.digits_of(row)?;
-            let row_keep: Vec<usize> = keep.iter().map(|&t| row_digits[t]).collect();
-            let r = keep_radix.index_of(&row_keep)?;
-            for col in 0..self.dim() {
-                let col_digits = self.radix.digits_of(col)?;
-                if env.iter().any(|&e| row_digits[e] != col_digits[e]) {
-                    continue;
-                }
-                let col_keep: Vec<usize> = keep.iter().map(|&t| col_digits[t]).collect();
-                let c = keep_radix.index_of(&col_keep)?;
-                out[(r, c)] += self.matrix.get(row, col);
-            }
-        }
+        let plan = ApplyPlan::new(&self.radix, keep)?;
+        let out = plan.partial_trace(self.matrix.as_slice());
         DensityMatrix::from_matrix(keep_dims, out)
     }
 
@@ -387,21 +356,6 @@ impl DensityMatrix {
             acc += a.conj() * *b;
         }
         Ok(acc.re.max(0.0))
-    }
-}
-
-impl QuditState {
-    /// Internal constructor used by [`DensityMatrix`]: wraps amplitudes
-    /// without the zero-norm check (rows/columns of a density matrix may be
-    /// zero vectors).
-    pub(crate) fn from_amplitudes_unchecked(radix: Radix, amplitudes: Vec<Complex64>) -> Self {
-        // Safety of invariants: amplitudes length always matches radix here
-        // because callers construct it from an existing register.
-        debug_assert_eq!(radix.total_dim(), amplitudes.len());
-        // Re-build through the public API is not possible for zero vectors,
-        // so construct directly via serde-compatible struct init.
-        // (QuditState fields are private to this crate.)
-        Self::construct(radix, amplitudes)
     }
 }
 

@@ -11,6 +11,27 @@
 //! dimensions that near-term qudit processors — and therefore this
 //! workspace's simulators — actually reach.
 //!
+//! ## Hot-path architecture (PR 1)
+//!
+//! Every simulation kernel routes through two building blocks:
+//!
+//! * [`apply::ApplyPlan`] — the stride geometry of "operator on a
+//!   sub-register" (target sub-offsets plus spectator-block enumeration),
+//!   computed once per `(register, targets)` pair and reused across
+//!   instructions, shots and trajectories. Together with
+//!   [`apply::OpKind`] (diagonal / monomial / dense operator
+//!   classification) it powers `apply_operator`, expectation values,
+//!   marginals, measurement collapse, reduced density matrices, Kraus-branch
+//!   norms and the density-matrix superoperator kernels — with no
+//!   per-amplitude digit decompositions anywhere.
+//! * [`par`] — a dependency-free `std::thread::scope` fork-join helper
+//!   whose `par_map` preserves index order, so the circuit simulators'
+//!   trajectory/shot loops parallelise with bitwise-identical results to
+//!   the serial order.
+//!
+//! Repeated shot sampling goes through [`sampling::Cdf`], a cumulative
+//! distribution with O(log dim) binary-search draws.
+//!
 //! ## Conventions
 //!
 //! * Basis ordering is **big-endian**: qudit 0 is the most significant digit
@@ -40,25 +61,31 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod apply;
 pub mod complex;
 pub mod density;
 pub mod error;
 pub mod linalg;
 pub mod matrix;
 pub mod metrics;
+pub mod par;
 pub mod radix;
 pub mod random;
+pub mod sampling;
 pub mod state;
 
+pub use apply::{ApplyPlan, OpKind};
 pub use complex::{c64, Complex64};
 pub use density::DensityMatrix;
 pub use error::{CoreError, Result};
 pub use matrix::CMatrix;
 pub use radix::Radix;
+pub use sampling::Cdf;
 pub use state::QuditState;
 
 /// Commonly used items, for glob import.
 pub mod prelude {
+    pub use crate::apply::{ApplyPlan, OpKind};
     pub use crate::complex::{c64, Complex64};
     pub use crate::density::DensityMatrix;
     pub use crate::error::{CoreError, Result};

@@ -224,7 +224,8 @@ pub fn expm(a: &CMatrix) -> Result<CMatrix> {
 fn pade6(a: &CMatrix) -> Result<CMatrix> {
     let n = a.rows();
     let id = CMatrix::identity(n);
-    let b: [f64; 7] = [1.0, 0.5, 3.0 / 26.0, 5.0 / 312.0, 5.0 / 3432.0, 1.0 / 11440.0, 1.0 / 308880.0];
+    let b: [f64; 7] =
+        [1.0, 0.5, 3.0 / 26.0, 5.0 / 312.0, 5.0 / 3432.0, 1.0 / 11440.0, 1.0 / 308880.0];
 
     let a2 = a.matmul(a)?;
     let a4 = a2.matmul(&a2)?;

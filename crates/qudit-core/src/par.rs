@@ -1,0 +1,101 @@
+//! Dependency-free fork-join parallelism for embarrassingly parallel loops.
+//!
+//! The trajectory and shot loops in the circuit simulators are index-parallel:
+//! iteration `i` derives its own RNG seed from `i`, so iterations share no
+//! state and the result is a pure function of the index. [`par_map`] evaluates
+//! such a loop on `std::thread::scope` worker threads and reassembles the
+//! results **in index order**, so the output is bitwise identical to the
+//! serial loop regardless of thread count or scheduling.
+//!
+//! This module deliberately carries no dependency (the build environment has
+//! no registry access, so `rayon` is unavailable); when a real work-stealing
+//! pool becomes available the call sites only need `par_map` to keep its
+//! signature.
+//!
+//! Thread count resolution: an explicit request (e.g.
+//! [`crate::par::par_map_threads`] or a simulator's `with_threads`) wins;
+//! otherwise the `QUDIT_NUM_THREADS` environment variable; otherwise
+//! [`std::thread::available_parallelism`].
+
+use std::num::NonZeroUsize;
+
+/// Number of worker threads used when the caller does not specify one.
+pub fn max_threads() -> usize {
+    if let Ok(v) = std::env::var("QUDIT_NUM_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
+}
+
+/// Maps `f` over `0..n` with the default thread count, preserving index order.
+///
+/// Equivalent to `(0..n).map(f).collect()` — including, exactly, the result
+/// order — but evaluated on multiple threads when they are available.
+pub fn par_map<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    par_map_threads(n, max_threads(), f)
+}
+
+/// Maps `f` over `0..n` on up to `threads` worker threads, preserving index
+/// order. `threads <= 1` runs serially on the calling thread.
+pub fn par_map_threads<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = threads.max(1).min(n);
+    if threads <= 1 {
+        return (0..n).map(f).collect();
+    }
+    // Contiguous chunks: thread t evaluates [starts[t], starts[t+1]).
+    // Joining in thread order reassembles index order.
+    let chunk = n / threads;
+    let rem = n % threads;
+    let mut results: Vec<Vec<T>> = Vec::with_capacity(threads);
+    std::thread::scope(|scope| {
+        let f = &f;
+        let mut handles = Vec::with_capacity(threads);
+        let mut start = 0usize;
+        for t in 0..threads {
+            let len = chunk + usize::from(t < rem);
+            let range = start..start + len;
+            start += len;
+            handles.push(scope.spawn(move || range.map(f).collect::<Vec<T>>()));
+        }
+        for h in handles {
+            results.push(h.join().expect("parallel worker panicked"));
+        }
+    });
+    results.into_iter().flatten().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_matches_serial_map_in_order() {
+        let serial: Vec<u64> = (0..1000).map(|i| (i as u64).wrapping_mul(0x9E3779B9)).collect();
+        for threads in [1, 2, 3, 7, 16] {
+            let parallel = par_map_threads(1000, threads, |i| (i as u64).wrapping_mul(0x9E3779B9));
+            assert_eq!(parallel, serial, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn handles_empty_and_small_inputs() {
+        assert!(par_map_threads(0, 8, |i| i).is_empty());
+        assert_eq!(par_map_threads(1, 8, |i| i * 2), vec![0]);
+        assert_eq!(par_map_threads(3, 8, |i| i), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn more_threads_than_items_is_fine() {
+        assert_eq!(par_map_threads(5, 64, |i| i + 1), vec![1, 2, 3, 4, 5]);
+    }
+}

@@ -1,0 +1,123 @@
+//! Shot sampling from discrete probability distributions.
+//!
+//! The seed drew each shot with an O(dim) linear scan over the probability
+//! vector; [`Cdf`] precomputes the cumulative distribution once and draws
+//! each shot with a binary search, taking `shots` samples from
+//! `O(shots · dim)` to `O(dim + shots · log dim)`. The same sampler backs
+//! [`crate::state::QuditState::sample_counts`],
+//! [`crate::density::DensityMatrix::sample_counts`] and the circuit
+//! simulators' parallel shot loops.
+
+use rand::Rng;
+
+/// A cumulative distribution over `0..len` outcomes.
+///
+/// Weights need not be normalised; draws are scaled by the total mass, so a
+/// slightly-off-unit quantum probability vector samples correctly.
+#[derive(Debug, Clone)]
+pub struct Cdf {
+    cumulative: Vec<f64>,
+}
+
+impl Cdf {
+    /// Builds the sampler from non-negative weights.
+    pub fn from_weights(weights: impl IntoIterator<Item = f64>) -> Self {
+        let mut acc = 0.0f64;
+        let cumulative = weights
+            .into_iter()
+            .map(|w| {
+                acc += w.max(0.0);
+                acc
+            })
+            .collect();
+        Self { cumulative }
+    }
+
+    /// Number of outcomes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// Returns `true` if there are no outcomes.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.cumulative.is_empty()
+    }
+
+    /// Total mass of the distribution.
+    #[inline]
+    pub fn total(&self) -> f64 {
+        self.cumulative.last().copied().unwrap_or(0.0)
+    }
+
+    /// Draws one outcome index (one uniform variate per draw, matching the
+    /// seed's consumption so RNG streams stay aligned).
+    #[inline]
+    pub fn draw<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        debug_assert!(!self.is_empty());
+        let target = rng.gen::<f64>() * self.total();
+        self.index_of(target)
+    }
+
+    /// Maps a mass coordinate in `[0, total)` to its outcome index.
+    #[inline]
+    pub fn index_of(&self, target: f64) -> usize {
+        let idx = self.cumulative.partition_point(|&c| c <= target);
+        idx.min(self.cumulative.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn draws_follow_the_weights() {
+        let cdf = Cdf::from_weights([0.1, 0.0, 0.6, 0.3]);
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut counts = [0usize; 4];
+        let n = 100_000;
+        for _ in 0..n {
+            counts[cdf.draw(&mut rng)] += 1;
+        }
+        assert_eq!(counts[1], 0, "zero-weight outcome must never be drawn");
+        assert!((counts[0] as f64 / n as f64 - 0.1).abs() < 0.01);
+        assert!((counts[2] as f64 / n as f64 - 0.6).abs() < 0.01);
+        assert!((counts[3] as f64 / n as f64 - 0.3).abs() < 0.01);
+    }
+
+    #[test]
+    fn index_of_matches_linear_scan() {
+        let weights = [0.25, 0.5, 0.125, 0.125];
+        let cdf = Cdf::from_weights(weights);
+        for k in 0..1000 {
+            let target = k as f64 / 1000.0;
+            // Seed-style linear scan.
+            let mut r = target;
+            let mut expected = weights.len() - 1;
+            for (i, w) in weights.iter().enumerate() {
+                if r < *w {
+                    expected = i;
+                    break;
+                }
+                r -= w;
+            }
+            assert_eq!(cdf.index_of(target), expected, "target {target}");
+        }
+    }
+
+    #[test]
+    fn unnormalised_weights_are_handled() {
+        let cdf = Cdf::from_weights([2.0, 2.0]);
+        assert!((cdf.total() - 4.0).abs() < 1e-12);
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut ones = 0;
+        for _ in 0..10_000 {
+            ones += cdf.draw(&mut rng);
+        }
+        assert!((ones as f64 / 10_000.0 - 0.5).abs() < 0.02);
+    }
+}

@@ -3,10 +3,12 @@
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
+use crate::apply::{ApplyPlan, OpKind};
 use crate::complex::{c64, Complex64};
 use crate::error::{CoreError, Result};
 use crate::matrix::CMatrix;
 use crate::radix::Radix;
+use crate::sampling::Cdf;
 
 /// A pure state (state vector) of a mixed-radix qudit register.
 ///
@@ -71,14 +73,6 @@ impl QuditState {
         let n = radix.total_dim();
         let amp = c64(1.0 / (n as f64).sqrt(), 0.0);
         Ok(Self { radix, amplitudes: vec![amp; n] })
-    }
-
-    /// Crate-internal constructor that skips normalisation checks, used when
-    /// rows or columns of a density matrix (which may be zero vectors) are
-    /// temporarily viewed as state vectors.
-    pub(crate) fn construct(radix: Radix, amplitudes: Vec<Complex64>) -> Self {
-        debug_assert_eq!(radix.total_dim(), amplitudes.len());
-        Self { radix, amplitudes }
     }
 
     /// The register description.
@@ -157,12 +151,7 @@ impl QuditState {
                 found: format!("register {:?}", other.radix.dims()),
             });
         }
-        Ok(self
-            .amplitudes
-            .iter()
-            .zip(other.amplitudes.iter())
-            .map(|(a, b)| a.conj() * *b)
-            .sum())
+        Ok(self.amplitudes.iter().zip(other.amplitudes.iter()).map(|(a, b)| a.conj() * *b).sum())
     }
 
     /// Probability of each computational basis outcome.
@@ -192,70 +181,28 @@ impl QuditState {
     /// # Errors
     /// Returns an error if targets or operator dimensions are invalid.
     pub fn apply_operator(&mut self, op: &CMatrix, targets: &[usize]) -> Result<()> {
-        let sub_dim = self.radix.subspace_dim(targets)?;
-        if op.rows() != sub_dim || op.cols() != sub_dim {
-            return Err(CoreError::ShapeMismatch {
-                expected: format!("{sub_dim}x{sub_dim} operator"),
-                found: format!("{}x{}", op.rows(), op.cols()),
-            });
-        }
-        // Strides for target digits and an enumeration of spectator configurations.
-        let target_strides: Vec<usize> =
-            targets.iter().map(|&t| self.radix.stride(t).expect("validated")).collect();
-        let target_dims: Vec<usize> = targets.iter().map(|&t| self.radix.dims()[t]).collect();
-        let spectators: Vec<usize> =
-            (0..self.radix.len()).filter(|k| !targets.contains(k)).collect();
-        let spectator_dims: Vec<usize> = spectators.iter().map(|&k| self.radix.dims()[k]).collect();
-        let spectator_strides: Vec<usize> =
-            spectators.iter().map(|&k| self.radix.stride(k).expect("validated")).collect();
+        let plan = ApplyPlan::new(&self.radix, targets)?;
+        let kind = OpKind::classify(op);
+        let mut scratch = Vec::new();
+        self.apply_prepared(&plan, &kind, op, &mut scratch)
+    }
 
-        // Offsets of each target-subspace basis state relative to a spectator base index.
-        let mut sub_offsets = vec![0usize; sub_dim];
-        {
-            let target_radix = Radix::new(target_dims.clone())?;
-            for (sub_idx, offset) in sub_offsets.iter_mut().enumerate() {
-                let digits = target_radix.digits_of(sub_idx)?;
-                *offset = digits
-                    .iter()
-                    .zip(target_strides.iter())
-                    .map(|(&d, &s)| d * s)
-                    .sum();
-            }
-        }
-
-        let spectator_count: usize = spectator_dims.iter().product::<usize>().max(1);
-        let mut scratch = vec![Complex64::ZERO; sub_dim];
-        let mut spec_digits = vec![0usize; spectators.len()];
-
-        for _ in 0..spectator_count {
-            let base: usize = spec_digits
-                .iter()
-                .zip(spectator_strides.iter())
-                .map(|(&d, &s)| d * s)
-                .sum();
-            // Gather.
-            for (sub_idx, s) in scratch.iter_mut().enumerate() {
-                *s = self.amplitudes[base + sub_offsets[sub_idx]];
-            }
-            // Apply op.
-            for (row, offset) in sub_offsets.iter().enumerate() {
-                let mut acc = Complex64::ZERO;
-                let op_row = op.row(row);
-                for (col, s) in scratch.iter().enumerate() {
-                    acc += op_row[col] * *s;
-                }
-                self.amplitudes[base + offset] = acc;
-            }
-            // Increment spectator digit string (little-endian over the local list).
-            for k in (0..spec_digits.len()).rev() {
-                spec_digits[k] += 1;
-                if spec_digits[k] < spectator_dims[k] {
-                    break;
-                }
-                spec_digits[k] = 0;
-            }
-        }
-        Ok(())
+    /// Applies an operator through a precomputed [`ApplyPlan`] and
+    /// [`OpKind`], the allocation-free path the circuit simulators use to
+    /// reuse plans across instructions, shots and trajectories. `scratch` is
+    /// caller-owned working memory (resized as needed).
+    ///
+    /// # Errors
+    /// Returns an error if the plan or operator dimensions do not match this
+    /// register.
+    pub fn apply_prepared(
+        &mut self,
+        plan: &ApplyPlan,
+        kind: &OpKind,
+        op: &CMatrix,
+        scratch: &mut Vec<Complex64>,
+    ) -> Result<()> {
+        plan.apply(kind, op, &mut self.amplitudes, scratch)
     }
 
     /// Applies an operator defined on the whole register.
@@ -279,9 +226,10 @@ impl QuditState {
     /// # Errors
     /// Returns an error if targets or operator dimensions are invalid.
     pub fn expectation(&self, op: &CMatrix, targets: &[usize]) -> Result<Complex64> {
-        let mut applied = self.clone();
-        applied.apply_operator(op, targets)?;
-        self.inner(&applied)
+        let plan = ApplyPlan::new(&self.radix, targets)?;
+        let kind = OpKind::classify(op);
+        let mut scratch = Vec::new();
+        plan.expectation(&kind, op, &self.amplitudes, &mut scratch)
     }
 
     /// Probability distribution of measuring the listed target qudits in the
@@ -290,55 +238,32 @@ impl QuditState {
     /// # Errors
     /// Returns an error for invalid targets.
     pub fn marginal_probabilities(&self, targets: &[usize]) -> Result<Vec<f64>> {
-        let sub_dim = self.radix.subspace_dim(targets)?;
-        let target_radix = Radix::new(targets.iter().map(|&t| self.radix.dims()[t]).collect())?;
-        let mut probs = vec![0.0; sub_dim];
-        for (idx, amp) in self.amplitudes.iter().enumerate() {
-            let p = amp.norm_sqr();
-            if p == 0.0 {
-                continue;
-            }
-            let digits = self.radix.digits_of(idx)?;
-            let sub: Vec<usize> = targets.iter().map(|&t| digits[t]).collect();
-            probs[target_radix.index_of(&sub)?] += p;
-        }
-        Ok(probs)
+        let plan = ApplyPlan::new(&self.radix, targets)?;
+        Ok(plan.marginal_probabilities(&self.amplitudes))
     }
 
     /// Samples a computational-basis measurement of the full register without
     /// collapsing the state. Returns the observed digit string.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<usize> {
-        let probs = self.probabilities();
-        let total: f64 = probs.iter().sum();
-        let mut r: f64 = rng.gen::<f64>() * total;
-        let mut chosen = probs.len() - 1;
-        for (i, p) in probs.iter().enumerate() {
-            if r < *p {
-                chosen = i;
-                break;
-            }
-            r -= p;
-        }
+        let chosen = self.cdf().draw(rng);
         self.radix.digits_of(chosen).expect("index in range")
     }
 
+    /// Cumulative distribution over computational-basis outcomes, for
+    /// repeated sampling: build once, then draw shots in `O(log dim)` each
+    /// (see [`Cdf`]).
+    pub fn cdf(&self) -> Cdf {
+        Cdf::from_weights(self.amplitudes.iter().map(|a| a.norm_sqr()))
+    }
+
     /// Samples `shots` computational-basis measurements, returning a count per
-    /// flat basis index.
+    /// flat basis index. Uses a precomputed cumulative distribution with a
+    /// binary search per shot instead of the seed's O(dim) scan per shot.
     pub fn sample_counts<R: Rng + ?Sized>(&self, rng: &mut R, shots: usize) -> Vec<usize> {
+        let cdf = self.cdf();
         let mut counts = vec![0usize; self.dim()];
-        let probs = self.probabilities();
-        let total: f64 = probs.iter().sum();
         for _ in 0..shots {
-            let mut r: f64 = rng.gen::<f64>() * total;
-            let mut chosen = probs.len() - 1;
-            for (i, p) in probs.iter().enumerate() {
-                if r < *p {
-                    chosen = i;
-                    break;
-                }
-                r -= p;
-            }
-            counts[chosen] += 1;
+            counts[cdf.draw(rng)] += 1;
         }
         counts
     }
@@ -353,30 +278,13 @@ impl QuditState {
         targets: &[usize],
         rng: &mut R,
     ) -> Result<Vec<usize>> {
-        let probs = self.marginal_probabilities(targets)?;
+        let plan = ApplyPlan::new(&self.radix, targets)?;
         let target_radix = Radix::new(targets.iter().map(|&t| self.radix.dims()[t]).collect())?;
-        let total: f64 = probs.iter().sum();
-        let mut r: f64 = rng.gen::<f64>() * total;
-        let mut outcome = probs.len() - 1;
-        for (i, p) in probs.iter().enumerate() {
-            if r < *p {
-                outcome = i;
-                break;
-            }
-            r -= p;
-        }
+        let probs = plan.marginal_probabilities(&self.amplitudes);
+        let outcome = Cdf::from_weights(probs).draw(rng);
         let outcome_digits = target_radix.digits_of(outcome)?;
         // Project and renormalise.
-        for (idx, amp) in self.amplitudes.iter_mut().enumerate() {
-            let digits = self.radix.digits_of(idx)?;
-            let matches = targets
-                .iter()
-                .zip(outcome_digits.iter())
-                .all(|(&t, &o)| digits[t] == o);
-            if !matches {
-                *amp = Complex64::ZERO;
-            }
-        }
+        plan.collapse(&mut self.amplitudes, outcome);
         self.normalize()?;
         Ok(outcome_digits)
     }
@@ -393,31 +301,10 @@ impl QuditState {
     /// # Errors
     /// Returns an error for invalid targets.
     pub fn reduced_density_matrix(&self, keep: &[usize]) -> Result<CMatrix> {
-        let keep_dim = self.radix.subspace_dim(keep)?;
-        let keep_radix = Radix::new(keep.iter().map(|&t| self.radix.dims()[t]).collect())?;
-        let mut rho = CMatrix::zeros(keep_dim, keep_dim);
-        // ρ_keep[i,j] = Σ_env ψ[(i, env)] ψ*[(j, env)]
-        // Group amplitudes by environment configuration.
-        let env: Vec<usize> = (0..self.radix.len()).filter(|k| !keep.contains(k)).collect();
-        for (idx_a, amp_a) in self.amplitudes.iter().enumerate() {
-            if amp_a.norm_sqr() == 0.0 {
-                continue;
-            }
-            let digits_a = self.radix.digits_of(idx_a)?;
-            let keep_a: Vec<usize> = keep.iter().map(|&t| digits_a[t]).collect();
-            let row = keep_radix.index_of(&keep_a)?;
-            for (idx_b, amp_b) in self.amplitudes.iter().enumerate() {
-                let digits_b = self.radix.digits_of(idx_b)?;
-                // Environments must match.
-                if env.iter().any(|&e| digits_a[e] != digits_b[e]) {
-                    continue;
-                }
-                let keep_b: Vec<usize> = keep.iter().map(|&t| digits_b[t]).collect();
-                let col = keep_radix.index_of(&keep_b)?;
-                rho[(row, col)] += *amp_a * amp_b.conj();
-            }
-        }
-        Ok(rho)
+        // ρ_keep[i,j] = Σ_env ψ[(i, env)] ψ*[(j, env)]; the plan's spectator
+        // blocks are exactly the environment configurations.
+        let plan = ApplyPlan::new(&self.radix, keep)?;
+        Ok(plan.reduced_density(&self.amplitudes))
     }
 }
 
@@ -475,8 +362,9 @@ mod tests {
         let dims = vec![2, 3, 2];
         let mut s = QuditState::uniform_superposition(dims.clone()).unwrap();
         // Random-ish two-qudit unitary on qudits (2, 1) built from a Hermitian generator.
-        let h = CMatrix::from_fn(6, 6, |i, j| c64((i * j) as f64 * 0.1, (i as f64 - j as f64) * 0.05))
-            .hermitian_part();
+        let h =
+            CMatrix::from_fn(6, 6, |i, j| c64((i * j) as f64 * 0.1, (i as f64 - j as f64) * 0.05))
+                .hermitian_part();
         let u = crate::linalg::expm_hermitian(&h, c64(0.0, -1.0)).unwrap();
         let mut s2 = s.clone();
 

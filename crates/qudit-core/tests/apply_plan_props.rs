@@ -1,0 +1,207 @@
+//! Property tests for the stride-based operator application path: on random
+//! mixed-radix registers (dims 2–5, 1–3 targets), `apply_operator` /
+//! `ApplyPlan` must agree with the reference path that embeds the operator
+//! into the full Hilbert space and applies it as a dense matrix-vector
+//! product — for dense, diagonal and monomial (permutation-like) operators,
+//! in any target order.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use qudit_core::apply::{ApplyPlan, OpKind};
+use qudit_core::complex::{c64, Complex64};
+use qudit_core::matrix::CMatrix;
+use qudit_core::radix::{embed_operator, Radix};
+use qudit_core::random::{haar_state, haar_unitary};
+use qudit_core::state::QuditState;
+
+const TOL: f64 = 1e-10;
+
+/// A random register of 2–4 qudits with dims 2–5 and a random ordered
+/// target subset of 1–3 qudits.
+fn random_register(rng: &mut StdRng) -> (Vec<usize>, Vec<usize>) {
+    let n = rng.gen_range(2..5usize);
+    let dims: Vec<usize> = (0..n).map(|_| rng.gen_range(2..6usize)).collect();
+    let n_targets = rng.gen_range(1..=3.min(n));
+    // Random distinct targets in random order.
+    let mut pool: Vec<usize> = (0..n).collect();
+    let mut targets = Vec::with_capacity(n_targets);
+    for _ in 0..n_targets {
+        targets.push(pool.remove(rng.gen_range(0..pool.len())));
+    }
+    (dims, targets)
+}
+
+fn random_diagonal(rng: &mut StdRng, d: usize) -> CMatrix {
+    CMatrix::diag(
+        &(0..d)
+            .map(|_| Complex64::cis(rng.gen_range(0.0..std::f64::consts::TAU)))
+            .collect::<Vec<_>>(),
+    )
+}
+
+fn random_monomial(rng: &mut StdRng, d: usize) -> CMatrix {
+    // Random permutation with random phases: exercises the monomial kernel.
+    let mut perm: Vec<usize> = (0..d).collect();
+    for i in (1..d).rev() {
+        perm.swap(i, rng.gen_range(0..i + 1));
+    }
+    let mut m = CMatrix::zeros(d, d);
+    for (c, &r) in perm.iter().enumerate() {
+        m[(r, c)] = Complex64::cis(rng.gen_range(0.0..std::f64::consts::TAU));
+    }
+    m
+}
+
+fn assert_states_close(fast: &QuditState, reference: &QuditState, context: &str) {
+    for (a, b) in fast.amplitudes().iter().zip(reference.amplitudes().iter()) {
+        assert!((*a - *b).abs() < TOL, "{context}: {a} vs {b}");
+    }
+}
+
+#[test]
+fn stride_apply_matches_embedded_operator_on_random_registers() {
+    let mut rng = StdRng::seed_from_u64(0xA11CE);
+    for trial in 0..60 {
+        let (dims, targets) = random_register(&mut rng);
+        let radix = Radix::new(dims.clone()).unwrap();
+        let sub_dim = radix.subspace_dim(&targets).unwrap();
+
+        let op = match trial % 3 {
+            0 => haar_unitary(&mut rng, sub_dim).unwrap(),
+            1 => random_diagonal(&mut rng, sub_dim),
+            _ => random_monomial(&mut rng, sub_dim),
+        };
+
+        let state = haar_state(&mut rng, dims.clone()).unwrap();
+        let mut fast = state.clone();
+        fast.apply_operator(&op, &targets).unwrap();
+
+        let mut reference = state.clone();
+        let full = embed_operator(&radix, &op, &targets).unwrap();
+        reference.apply_full_operator(&full).unwrap();
+
+        assert_states_close(
+            &fast,
+            &reference,
+            &format!("trial {trial}: dims {dims:?}, targets {targets:?}"),
+        );
+
+        // The explicitly prepared path must agree with apply_operator.
+        let plan = ApplyPlan::new(&radix, &targets).unwrap();
+        let kind = OpKind::classify(&op);
+        let mut prepared = state.clone();
+        let mut scratch = Vec::new();
+        prepared.apply_prepared(&plan, &kind, &op, &mut scratch).unwrap();
+        assert_states_close(&prepared, &reference, &format!("trial {trial} (prepared)"));
+    }
+}
+
+#[test]
+fn plan_expectation_and_norm_match_reference() {
+    let mut rng = StdRng::seed_from_u64(0xBEE);
+    for trial in 0..40 {
+        let (dims, targets) = random_register(&mut rng);
+        let radix = Radix::new(dims.clone()).unwrap();
+        let sub_dim = radix.subspace_dim(&targets).unwrap();
+        let op = match trial % 3 {
+            0 => haar_unitary(&mut rng, sub_dim).unwrap(),
+            1 => random_diagonal(&mut rng, sub_dim),
+            _ => random_monomial(&mut rng, sub_dim),
+        };
+        let state = haar_state(&mut rng, dims.clone()).unwrap();
+
+        // Reference expectation: ⟨ψ| O_full |ψ⟩ via embedding.
+        let full = embed_operator(&radix, &op, &targets).unwrap();
+        let mut applied = state.clone();
+        applied.apply_full_operator(&full).unwrap();
+        let expected = state.inner(&applied).unwrap();
+
+        let got = state.expectation(&op, &targets).unwrap();
+        assert!((got - expected).abs() < TOL, "trial {trial}: {got} vs {expected}");
+
+        // Kraus-branch norm: ‖O ψ‖² without materialisation.
+        let plan = ApplyPlan::new(&radix, &targets).unwrap();
+        let kind = OpKind::classify(&op);
+        let mut scratch = Vec::new();
+        let lazy = plan.norm_sqr_after(&kind, &op, state.amplitudes(), &mut scratch).unwrap();
+        let eager = applied.norm_sqr();
+        assert!((lazy - eager).abs() < TOL, "trial {trial}: {lazy} vs {eager}");
+    }
+}
+
+#[test]
+fn plan_marginals_and_reduced_density_match_digitwise_reference() {
+    let mut rng = StdRng::seed_from_u64(0xCAFE);
+    for trial in 0..40 {
+        let (dims, targets) = random_register(&mut rng);
+        let radix = Radix::new(dims.clone()).unwrap();
+        let state = haar_state(&mut rng, dims.clone()).unwrap();
+        let target_radix = Radix::new(targets.iter().map(|&t| dims[t]).collect()).unwrap();
+
+        // Digit-by-digit reference marginal (the seed algorithm).
+        let mut expected = vec![0.0f64; target_radix.total_dim()];
+        for (idx, amp) in state.amplitudes().iter().enumerate() {
+            let digits = radix.digits_of(idx).unwrap();
+            let sub: Vec<usize> = targets.iter().map(|&t| digits[t]).collect();
+            expected[target_radix.index_of(&sub).unwrap()] += amp.norm_sqr();
+        }
+        let got = state.marginal_probabilities(&targets).unwrap();
+        for (g, e) in got.iter().zip(expected.iter()) {
+            assert!((g - e).abs() < TOL, "trial {trial}: marginal {g} vs {e}");
+        }
+
+        // Reduced density matrix vs digit-by-digit reference.
+        let rho = state.reduced_density_matrix(&targets).unwrap();
+        let k = target_radix.total_dim();
+        let mut expected_rho = CMatrix::zeros(k, k);
+        for (idx_a, amp_a) in state.amplitudes().iter().enumerate() {
+            let digits_a = radix.digits_of(idx_a).unwrap();
+            for (idx_b, amp_b) in state.amplitudes().iter().enumerate() {
+                let digits_b = radix.digits_of(idx_b).unwrap();
+                let env_match = (0..dims.len())
+                    .filter(|q| !targets.contains(q))
+                    .all(|q| digits_a[q] == digits_b[q]);
+                if !env_match {
+                    continue;
+                }
+                let row_sub: Vec<usize> = targets.iter().map(|&t| digits_a[t]).collect();
+                let col_sub: Vec<usize> = targets.iter().map(|&t| digits_b[t]).collect();
+                let r = target_radix.index_of(&row_sub).unwrap();
+                let c = target_radix.index_of(&col_sub).unwrap();
+                expected_rho[(r, c)] += *amp_a * amp_b.conj();
+            }
+        }
+        assert!((&rho - &expected_rho).max_abs() < TOL, "trial {trial}: reduced density mismatch");
+        // Sanity: trace of the reduced state is the state norm.
+        assert!((rho.trace().re - 1.0).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn measurement_collapse_matches_projector_reference() {
+    let mut rng = StdRng::seed_from_u64(0xD1CE);
+    for trial in 0..25 {
+        let (dims, targets) = random_register(&mut rng);
+        let radix = Radix::new(dims.clone()).unwrap();
+        let state = haar_state(&mut rng, dims.clone()).unwrap();
+
+        // Measure with a cloned RNG so the fast path and the reference see
+        // the same draw.
+        let mut rng_fast = StdRng::seed_from_u64(1000 + trial);
+        let mut fast = state.clone();
+        let outcome = fast.measure(&targets, &mut rng_fast).unwrap();
+
+        // Reference: project with embedded |outcome⟩⟨outcome| and normalise.
+        let target_radix = Radix::new(targets.iter().map(|&t| dims[t]).collect()).unwrap();
+        let sub_idx = target_radix.index_of(&outcome).unwrap();
+        let mut proj = CMatrix::zeros(target_radix.total_dim(), target_radix.total_dim());
+        proj[(sub_idx, sub_idx)] = c64(1.0, 0.0);
+        let full = embed_operator(&radix, &proj, &targets).unwrap();
+        let mut reference = state.clone();
+        reference.apply_full_operator(&full).unwrap();
+        reference.normalize().unwrap();
+
+        assert_states_close(&fast, &reference, &format!("trial {trial}: collapse"));
+    }
+}

@@ -25,7 +25,12 @@ fn main() {
 
     let config = NdarConfig {
         rounds: 3,
-        qaoa: QaoaConfig { layers: 1, trajectories: 25, optimizer_rounds: 10, ..Default::default() },
+        qaoa: QaoaConfig {
+            layers: 1,
+            trajectories: 25,
+            optimizer_rounds: 10,
+            ..Default::default()
+        },
         shots_per_round: 32,
     };
     let noise = NoiseModel::cavity(0.1, 0.2, 0.0);

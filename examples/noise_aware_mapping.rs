@@ -21,7 +21,8 @@ fn main() {
         device.equivalent_qubits()
     );
 
-    let h = sqed_chain(&SqedParams { sites: 12, link_dim: 4, ..Default::default() }).expect("model");
+    let h =
+        sqed_chain(&SqedParams { sites: 12, link_dim: 4, ..Default::default() }).expect("model");
     let circuit = trotter_circuit(&h, 1.0, 2, TrotterOrder::First).expect("circuit");
     println!(
         "\nWorkload: {} — {} gates, {} entangling, depth {}",
@@ -31,7 +32,9 @@ fn main() {
         circuit.depth()
     );
 
-    for strategy in [MappingStrategy::NoiseAware, MappingStrategy::RoundRobin, MappingStrategy::Random(3)] {
+    for strategy in
+        [MappingStrategy::NoiseAware, MappingStrategy::RoundRobin, MappingStrategy::Random(3)]
+    {
         let est = estimate_resources("sqed", &circuit, &device, strategy).expect("estimate");
         println!(
             "  {:<25} fidelity ≈ {:.4}, {} swaps, {:.1} µs",
@@ -43,7 +46,10 @@ fn main() {
     }
 
     let mapping = map_circuit(&circuit, &device, MappingStrategy::NoiseAware).expect("mapping");
-    println!("\nNoise-aware placement (logical → physical mode): {:?}", mapping.logical_to_physical);
+    println!(
+        "\nNoise-aware placement (logical → physical mode): {:?}",
+        mapping.logical_to_physical
+    );
 
     let csum = CsumCompiler::new(&device).compile(0, 1).expect("CSUM compilation");
     println!(

@@ -13,11 +13,7 @@ fn main() {
     let task = tasks::narma(5, 150, 21);
     println!("Task: {} with {} samples (70% train / 30% test)", task.name, task.len());
 
-    let params = ReservoirParams {
-        levels: 5,
-        substeps: 10,
-        ..ReservoirParams::paper_reference()
-    };
+    let params = ReservoirParams { levels: 5, substeps: 10, ..ReservoirParams::paper_reference() };
     let quantum = evaluate_quantum(&params, &task, 0.7, 1e-4).expect("quantum evaluation");
     println!(
         "\nQuantum reservoir ({} effective neurons, {} readout features): test NMSE = {:.3}",
@@ -33,6 +29,9 @@ fn main() {
     for shots in [50usize, 5000] {
         let noisy = evaluate_quantum_with_shots(&params, &task, 0.7, 1e-4, shots, 3)
             .expect("shot-limited evaluation");
-        println!("Quantum reservoir with {shots} shots/observable: test NMSE = {:.3}", noisy.test_nmse);
+        println!(
+            "Quantum reservoir with {shots} shots/observable: test NMSE = {:.3}",
+            noisy.test_nmse
+        );
     }
 }

@@ -1,0 +1,152 @@
+//! Offline stand-in for the `criterion` benchmark harness (see
+//! `shims/README.md`).
+//!
+//! Implements the subset of the criterion API used by `crates/bench`:
+//! benchmark groups, `bench_with_input` / `bench_function`,
+//! `Bencher::iter`, `black_box` and the `criterion_group!` /
+//! `criterion_main!` macros. Timing is a plain wall-clock loop (one warm-up
+//! pass, then `sample_size` timed samples); results are printed as
+//! `bench <group>/<id> ... mean <t> (min <t>, N samples)` lines rather than
+//! criterion's statistical reports.
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimiser from deleting benchmark work.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `<function>/<parameter>` style id.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        Self { id: format!("{}/{}", function.into(), parameter) }
+    }
+
+    /// Id that is just the parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self { id: parameter.to_string() }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Passed to benchmark closures; runs and times the measured routine.
+pub struct Bencher {
+    samples: usize,
+    /// Mean and minimum duration of one routine call, filled in by `iter`.
+    result: Option<(Duration, Duration)>,
+}
+
+impl Bencher {
+    /// Times `routine`: one warm-up call, then `samples` timed calls.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine());
+        let mut total = Duration::ZERO;
+        let mut min = Duration::MAX;
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(routine());
+            let dt = start.elapsed();
+            total += dt;
+            min = min.min(dt);
+        }
+        self.result = Some((total / self.samples as u32, min));
+    }
+}
+
+fn run_one(group: &str, id: &str, samples: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher { samples, result: None };
+    f(&mut b);
+    match b.result {
+        Some((mean, min)) => {
+            println!("bench {group}/{id} ... mean {mean:?} (min {min:?}, {samples} samples)")
+        }
+        None => println!("bench {group}/{id} ... no measurement (iter was not called)"),
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    samples: usize,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&self.name, &id.to_string(), self.samples, &mut |b| f(b, input));
+    }
+
+    /// Benchmarks a closure with no input.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, mut f: F) {
+        run_one(&self.name, &id.to_string(), self.samples, &mut f);
+    }
+
+    /// Ends the group (upstream criterion generates summary reports here).
+    pub fn finish(self) {}
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {
+    default_samples: usize,
+}
+
+impl Criterion {
+    /// Opens a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let samples = if self.default_samples == 0 { 10 } else { self.default_samples };
+        BenchmarkGroup { name: name.into(), samples, _criterion: self }
+    }
+
+    /// Benchmarks a stand-alone closure.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, mut f: F) {
+        let samples = if self.default_samples == 0 { 10 } else { self.default_samples };
+        run_one("", &id.to_string(), samples, &mut f);
+    }
+}
+
+/// Collects benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

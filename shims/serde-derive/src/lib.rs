@@ -1,0 +1,18 @@
+//! No-op `Serialize` / `Deserialize` derive macros for the offline serde
+//! shim (see `shims/README.md`). Nothing in the workspace serialises yet;
+//! these keep the seed sources' derive attributes compiling without the
+//! real `serde` crate.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; accepts (and ignores) `#[serde(...)]` attributes.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; accepts (and ignores) `#[serde(...)]` attributes.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

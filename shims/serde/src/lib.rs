@@ -1,0 +1,9 @@
+//! Offline stand-in for the `serde` crate (see `shims/README.md`).
+//!
+//! Re-exports no-op `Serialize` / `Deserialize` derive macros so the seed
+//! sources' `#[derive(Serialize, Deserialize)]` attributes compile without
+//! network access. No trait impls are generated — nothing in the workspace
+//! serialises yet. Swap in the real `serde` when a registry is available.
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -50,9 +50,7 @@ fn synthesised_gates_behave_inside_circuits() {
 
     let mut circuit = Circuit::new(vec![d]);
     for rot in &decomposition.rotations {
-        circuit
-            .push(Gate::custom("givens", vec![d], rot.matrix.clone()).unwrap(), &[0])
-            .unwrap();
+        circuit.push(Gate::custom("givens", vec![d], rot.matrix.clone()).unwrap(), &[0]).unwrap();
     }
     circuit.push(Gate::snap(d, &decomposition.phases), &[0]).unwrap();
 
@@ -132,7 +130,7 @@ fn lindblad_decay_matches_discrete_photon_loss_channel() {
     let mut rho = DensityMatrix::from_pure(&QuditState::basis(vec![d], &[3]).unwrap());
     sys.evolve(&mut rho, elapsed, 0.005).unwrap();
     // Discrete channel with the equivalent loss probability.
-    let gamma = 1.0 - (-elapsed / t1 as f64).exp();
+    let gamma = 1.0 - (-elapsed / t1).exp();
     let channel = qudit_cavity::circuit::noise::KrausChannel::photon_loss(d, gamma).unwrap();
     let mut rho_discrete = DensityMatrix::from_pure(&QuditState::basis(vec![d], &[3]).unwrap());
     rho_discrete.apply_kraus(channel.operators(), &[0]).unwrap();
