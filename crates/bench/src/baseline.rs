@@ -240,6 +240,98 @@ pub fn run_statevector(circuit: &Circuit, noise: &NoiseModel, rng: &mut StdRng) 
     state
 }
 
+/// PR-1-style scoped fork-join `par_map`: spawns and joins OS threads on
+/// every call (`std::thread::scope`), the behaviour the persistent pool in
+/// `qudit_core::par` replaced. Kept as the spawn-overhead yardstick.
+pub fn par_map_scoped<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = threads.max(1).min(n);
+    if threads <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let chunk = n / threads;
+    let rem = n % threads;
+    let mut results: Vec<Vec<T>> = Vec::with_capacity(threads);
+    std::thread::scope(|scope| {
+        let f = &f;
+        let mut handles = Vec::with_capacity(threads);
+        let mut start = 0usize;
+        for t in 0..threads {
+            let len = chunk + usize::from(t < rem);
+            let range = start..start + len;
+            start += len;
+            handles.push(scope.spawn(move || range.map(f).collect::<Vec<T>>()));
+        }
+        for h in handles {
+            results.push(h.join().expect("parallel worker panicked"));
+        }
+    });
+    results.into_iter().flatten().collect()
+}
+
+/// PR-1-style Lindblad RK4 step: `L†`/`L†L` cached (that much PR 1 did), but
+/// every right-hand-side evaluation and every RK4 stage allocates fresh
+/// matrices — ~10 full-dimension allocations per step. The in-place
+/// `Rk4Workspace` integrator in `cavity_sim::lindblad` replaced this.
+pub fn lindblad_evolve_cloning(
+    hamiltonian: &CMatrix,
+    collapse: &[(CMatrix, f64)],
+    rho: &mut qudit_core::density::DensityMatrix,
+    t: f64,
+    dt: f64,
+) {
+    use qudit_core::complex::c64;
+    let cached: Vec<(CMatrix, CMatrix, CMatrix, f64)> = collapse
+        .iter()
+        .map(|(l, rate)| {
+            let l_dag = l.dagger();
+            let ldag_l = l_dag.matmul(l).expect("square");
+            (l.clone(), l_dag, ldag_l, *rate)
+        })
+        .collect();
+    let rhs = |m: &CMatrix| -> CMatrix {
+        let hr = hamiltonian.matmul(m).expect("square");
+        let rh = m.matmul(hamiltonian).expect("square");
+        let mut out = (&hr - &rh).scaled(c64(0.0, -1.0));
+        for (l, l_dag, ldag_l, rate) in &cached {
+            let l_rho = l.matmul(m).expect("square");
+            let l_rho_ldag = l_rho.matmul(l_dag).expect("square");
+            let anti_1 = ldag_l.matmul(m).expect("square");
+            let anti_2 = m.matmul(ldag_l).expect("square");
+            let mut dissipator = l_rho_ldag;
+            dissipator.axpy(c64(-0.5, 0.0), &anti_1).expect("same shape");
+            dissipator.axpy(c64(-0.5, 0.0), &anti_2).expect("same shape");
+            out.axpy(c64(*rate, 0.0), &dissipator).expect("same shape");
+        }
+        out
+    };
+    let steps = (t / dt).round().max(1.0) as usize;
+    let h = t / steps as f64;
+    for _ in 0..steps {
+        let m = rho.matrix().clone();
+        let k1 = rhs(&m);
+        let mut m2 = m.clone();
+        m2.axpy(c64(h / 2.0, 0.0), &k1).expect("same shape");
+        let k2 = rhs(&m2);
+        let mut m3 = m.clone();
+        m3.axpy(c64(h / 2.0, 0.0), &k2).expect("same shape");
+        let k3 = rhs(&m3);
+        let mut m4 = m.clone();
+        m4.axpy(c64(h, 0.0), &k3).expect("same shape");
+        let k4 = rhs(&m4);
+        let mut next = m;
+        next.axpy(c64(h / 6.0, 0.0), &k1).expect("same shape");
+        next.axpy(c64(h / 3.0, 0.0), &k2).expect("same shape");
+        next.axpy(c64(h / 3.0, 0.0), &k3).expect("same shape");
+        next.axpy(c64(h / 6.0, 0.0), &k4).expect("same shape");
+        *rho.matrix_mut() = next;
+        rho.normalize().expect("positive trace");
+    }
+}
+
 /// Seed-style serial trajectory average of an observable.
 pub fn trajectory_expectation(
     circuit: &Circuit,

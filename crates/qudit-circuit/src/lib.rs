@@ -11,6 +11,20 @@
 //! from qubit-centric frameworks: circuits over heterogeneous `d`-level
 //! systems with native qudit entangling gates and cavity-style noise.
 //!
+//! ## Fused execution pipeline (PR 2)
+//!
+//! All three simulators consume circuits through a compiled execution plan:
+//! the [`sim::fusion`] pass walks the circuit once and coalesces runs of
+//! adjacent gates on the same or overlapping targets into fused superblocks,
+//! re-classifying each product so diagonal × diagonal stays diagonal and
+//! monomial × monomial stays monomial. A merge is accepted only when it does
+//! not increase apply cost, and growth is capped by the
+//! [`sim::FusionConfig`] qudit/dimension budget so blocks stay
+//! cache-resident. Measurements, resets, explicit channels and noisy gates
+//! flush fusion runs; fusion is on by default and configurable per simulator
+//! via `with_fusion`. Use [`sim::StatevectorSimulator::compile`] to reuse a
+//! plan across many runs.
+//!
 //! ## Example
 //!
 //! ```

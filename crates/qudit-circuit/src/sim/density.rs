@@ -9,11 +9,13 @@ use qudit_core::complex::c64;
 use qudit_core::density::DensityMatrix;
 use qudit_core::matrix::CMatrix;
 
-use crate::circuit::{Circuit, Instruction};
+use crate::circuit::Circuit;
 use crate::error::{CircuitError, Result};
 use crate::noise::{KrausChannel, NoiseModel};
 use crate::observable::Observable;
 use crate::sim::apply_readout_flip;
+use crate::sim::fusion::FusionConfig;
+use crate::sim::kernels::{CircuitKernels, ExecStep};
 
 /// A density-matrix simulator with an attached [`NoiseModel`].
 ///
@@ -25,12 +27,13 @@ use crate::sim::apply_readout_flip;
 pub struct DensityMatrixSimulator {
     noise: NoiseModel,
     seed: u64,
+    fusion: FusionConfig,
 }
 
 impl DensityMatrixSimulator {
     /// Creates a noiseless density-matrix simulator.
     pub fn new() -> Self {
-        Self { noise: NoiseModel::noiseless(), seed: 0xDEC0DE }
+        Self { noise: NoiseModel::noiseless(), seed: 0xDEC0DE, fusion: FusionConfig::default() }
     }
 
     /// Attaches a noise model.
@@ -44,6 +47,14 @@ impl DensityMatrixSimulator {
     #[must_use]
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Sets the gate-fusion configuration used when compiling the circuit
+    /// (enabled by default; see [`crate::sim::fusion`]).
+    #[must_use]
+    pub fn with_fusion(mut self, fusion: FusionConfig) -> Self {
+        self.fusion = fusion;
         self
     }
 
@@ -73,38 +84,55 @@ impl DensityMatrixSimulator {
                 circuit.dims()
             )));
         }
+        let kernels = CircuitKernels::with_config(circuit, &self.noise, &self.fusion)?;
         let mut rho = initial.clone();
         let dims = circuit.dims().to_vec();
-        for inst in circuit.instructions() {
-            match inst {
-                Instruction::Unitary { gate, targets } => {
-                    rho.apply_unitary(gate.matrix(), targets).map_err(CircuitError::Core)?;
-                    for (channel, qudit) in self.noise.channels_after_gate(targets, &dims)? {
-                        rho.apply_kraus(channel.operators(), &[qudit])
-                            .map_err(CircuitError::Core)?;
+        let mut scratch = Vec::new();
+        for step in &kernels.steps {
+            match step {
+                ExecStep::Apply { plan, kind, op, noise } => {
+                    rho.apply_unitary_prepared(plan, kind, op, &mut scratch)
+                        .map_err(CircuitError::Core)?;
+                    for ch in noise {
+                        rho.apply_kraus_prepared(
+                            &ch.plan,
+                            ch.channel.operators(),
+                            &ch.kinds,
+                            &mut scratch,
+                        )
+                        .map_err(CircuitError::Core)?;
                     }
                 }
-                Instruction::Measure { targets } => {
+                ExecStep::Measure { targets } => {
                     // Non-selective measurement: full dephasing of the targets.
                     for &t in targets {
                         let deph = KrausChannel::dephasing(dims[t], 1.0)?;
                         rho.apply_kraus(deph.operators(), &[t]).map_err(CircuitError::Core)?;
                     }
                 }
-                Instruction::Reset { target } => {
+                ExecStep::Reset { target } => {
                     let d = dims[*target];
                     let reset = reset_channel(d);
                     rho.apply_kraus(&reset, &[*target]).map_err(CircuitError::Core)?;
                 }
-                Instruction::Channel { channel, targets } => {
-                    rho.apply_kraus(channel.operators(), targets).map_err(CircuitError::Core)?;
+                ExecStep::Channel(ch) => {
+                    rho.apply_kraus_prepared(
+                        &ch.plan,
+                        ch.channel.operators(),
+                        &ch.kinds,
+                        &mut scratch,
+                    )
+                    .map_err(CircuitError::Core)?;
                 }
-                Instruction::Barrier => {
-                    if self.noise.idle_photon_loss > 0.0 {
-                        for (q, &d) in dims.iter().enumerate() {
-                            let loss = KrausChannel::photon_loss(d, self.noise.idle_photon_loss)?;
-                            rho.apply_kraus(loss.operators(), &[q]).map_err(CircuitError::Core)?;
-                        }
+                ExecStep::Barrier => {
+                    for ch in &kernels.barrier_loss {
+                        rho.apply_kraus_prepared(
+                            &ch.plan,
+                            ch.channel.operators(),
+                            &ch.kinds,
+                            &mut scratch,
+                        )
+                        .map_err(CircuitError::Core)?;
                     }
                 }
             }

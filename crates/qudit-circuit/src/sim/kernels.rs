@@ -1,20 +1,25 @@
-//! Precompiled per-instruction kernels shared across shots and trajectories.
+//! Precompiled execution plans shared across shots and trajectories.
 //!
 //! Running a stochastic circuit many times (Monte-Carlo trajectories,
 //! per-shot re-runs) repeats the same per-instruction setup work every run:
 //! building the stride geometry for each gate's targets, classifying each
 //! operator's structure, and constructing the noise model's Kraus channels.
-//! [`CircuitKernels`] hoists all of that out of the run loop: it is built
-//! once per `(circuit, noise model)` pair and is immutable and `Sync`
-//! afterwards, so the parallel trajectory executor shares one instance
-//! across worker threads. Mutable per-run scratch lives in the runner.
+//! [`CircuitKernels`] hoists all of that out of the run loop — and, since
+//! PR 2, first runs the [`crate::sim::fusion`] pass so runs of adjacent
+//! gates execute as single fused superblocks. A kernel set is built once per
+//! `(circuit, noise model, fusion config)` triple and is immutable and
+//! `Sync` afterwards, so the parallel trajectory executor shares one
+//! instance across worker threads. Mutable per-run scratch lives in the
+//! runner.
 
 use qudit_core::apply::{ApplyPlan, OpKind};
+use qudit_core::matrix::CMatrix;
 use qudit_core::Complex64;
 
 use crate::circuit::{Circuit, Instruction};
 use crate::error::{CircuitError, Result};
 use crate::noise::{KrausChannel, NoiseModel};
+use crate::sim::fusion::{fuse, FusedInst, FusionConfig, FusionStats};
 
 /// A Kraus channel with its application geometry precomputed.
 #[derive(Debug, Clone)]
@@ -37,62 +42,117 @@ impl ChannelKernel {
     }
 }
 
-/// Precompiled kernel for one instruction.
+/// One step of the compiled execution plan. Unlike the original instruction
+/// list, apply steps own their operator matrix: a step may be a fused
+/// superblock that exists nowhere in the circuit.
 #[derive(Debug, Clone)]
-pub(crate) enum InstKernel {
-    /// A unitary gate: its stride plan, operator structure and the noise
-    /// channels the model inserts after it.
-    Unitary { plan: ApplyPlan, kind: OpKind, noise: Vec<ChannelKernel> },
+pub(crate) enum ExecStep {
+    /// Apply a (possibly fused) unitary operator, then the noise channels the
+    /// model inserts after it.
+    Apply { plan: ApplyPlan, kind: OpKind, op: CMatrix, noise: Vec<ChannelKernel> },
     /// An explicit channel instruction.
     Channel(ChannelKernel),
-    /// Instructions whose per-run cost is not plan-dominated (measure,
-    /// reset, barrier); they fall back to the on-the-fly paths.
-    Passthrough,
+    /// A computational-basis measurement.
+    Measure { targets: Vec<usize> },
+    /// Reset of one qudit to `|0⟩`.
+    Reset { target: usize },
+    /// A barrier at which idle-loss channels apply.
+    Barrier,
 }
 
-/// All per-instruction kernels of a circuit under a noise model, plus the
-/// idle-loss channels applied at barriers.
+/// The compiled execution plan of a circuit under a noise model and fusion
+/// configuration, plus the idle-loss channels applied at barriers.
 #[derive(Debug, Clone)]
 pub(crate) struct CircuitKernels {
-    pub per_inst: Vec<InstKernel>,
+    /// Per-qudit dimensions of the register the plan was compiled for.
+    pub dims: Vec<usize>,
+    pub steps: Vec<ExecStep>,
     /// One photon-loss channel per qudit, used at each `Barrier` when the
     /// model has idle loss (empty otherwise).
     pub barrier_loss: Vec<ChannelKernel>,
+    /// What the fusion pass did.
+    pub stats: FusionStats,
 }
 
 impl CircuitKernels {
-    pub(crate) fn new(circuit: &Circuit, noise: &NoiseModel) -> Result<Self> {
+    pub(crate) fn with_config(
+        circuit: &Circuit,
+        noise: &NoiseModel,
+        config: &FusionConfig,
+    ) -> Result<Self> {
         let radix = circuit.radix();
         let dims = circuit.dims();
-        let mut per_inst = Vec::with_capacity(circuit.instructions().len());
+
+        // Per-gate noise channels; a gate the model decorates is a fusion
+        // barrier and executes verbatim.
+        let mut gate_noise: Vec<Option<Vec<(KrausChannel, usize)>>> =
+            Vec::with_capacity(circuit.len());
+        let mut fusable = Vec::with_capacity(circuit.len());
         for inst in circuit.instructions() {
-            per_inst.push(match inst {
-                Instruction::Unitary { gate, targets } => {
-                    let plan = ApplyPlan::new(radix, targets).map_err(CircuitError::Core)?;
-                    let kind = OpKind::classify(gate.matrix());
-                    let noise_channels = noise
-                        .channels_after_gate(targets, dims)?
-                        .into_iter()
-                        .map(|(channel, qudit)| ChannelKernel::new(radix, channel, vec![qudit]))
-                        .collect::<Result<Vec<_>>>()?;
-                    InstKernel::Unitary { plan, kind, noise: noise_channels }
+            match inst {
+                Instruction::Unitary { targets, .. } => {
+                    let channels = noise.channels_after_gate(targets, dims)?;
+                    fusable.push(channels.is_empty());
+                    gate_noise.push(Some(channels));
                 }
-                Instruction::Channel { channel, targets } => InstKernel::Channel(
-                    ChannelKernel::new(radix, channel.clone(), targets.clone())?,
-                ),
-                _ => InstKernel::Passthrough,
-            });
+                _ => {
+                    fusable.push(false);
+                    gate_noise.push(None);
+                }
+            }
         }
+
+        let has_barrier = circuit.instructions().iter().any(|i| matches!(i, Instruction::Barrier));
+        let lossy_barriers = noise.idle_photon_loss > 0.0 && has_barrier;
         let mut barrier_loss = Vec::new();
-        if noise.idle_photon_loss > 0.0
-            && circuit.instructions().iter().any(|i| matches!(i, Instruction::Barrier))
-        {
+        if lossy_barriers {
             for (q, &d) in dims.iter().enumerate() {
                 let loss = KrausChannel::photon_loss(d, noise.idle_photon_loss)?;
                 barrier_loss.push(ChannelKernel::new(radix, loss, vec![q])?);
             }
         }
-        Ok(Self { per_inst, barrier_loss })
+
+        let (fused, stats) = fuse(circuit, &fusable, !lossy_barriers, config)?;
+
+        let mut steps = Vec::with_capacity(fused.len());
+        for item in fused {
+            steps.push(match item {
+                FusedInst::Block { targets, matrix } => {
+                    let plan = ApplyPlan::new(radix, &targets).map_err(CircuitError::Core)?;
+                    let kind = OpKind::classify(&matrix);
+                    ExecStep::Apply { plan, kind, op: matrix, noise: Vec::new() }
+                }
+                FusedInst::Gate { index } => {
+                    let Instruction::Unitary { gate, targets } = &circuit.instructions()[index]
+                    else {
+                        unreachable!("fusion pass only tags unitaries as gates")
+                    };
+                    let plan = ApplyPlan::new(radix, targets).map_err(CircuitError::Core)?;
+                    let kind = OpKind::classify(gate.matrix());
+                    let noise_channels = gate_noise[index]
+                        .take()
+                        .expect("unitary instructions carry a channel list")
+                        .into_iter()
+                        .map(|(channel, qudit)| ChannelKernel::new(radix, channel, vec![qudit]))
+                        .collect::<Result<Vec<_>>>()?;
+                    ExecStep::Apply { plan, kind, op: gate.matrix().clone(), noise: noise_channels }
+                }
+                FusedInst::Passthrough { index } => match &circuit.instructions()[index] {
+                    Instruction::Measure { targets } => {
+                        ExecStep::Measure { targets: targets.clone() }
+                    }
+                    Instruction::Reset { target } => ExecStep::Reset { target: *target },
+                    Instruction::Channel { channel, targets } => ExecStep::Channel(
+                        ChannelKernel::new(radix, channel.clone(), targets.clone())?,
+                    ),
+                    Instruction::Barrier => ExecStep::Barrier,
+                    Instruction::Unitary { .. } => {
+                        unreachable!("unitaries never pass through the fusion pass")
+                    }
+                },
+            });
+        }
+        Ok(Self { dims: dims.to_vec(), steps, barrier_loss, stats })
     }
 }
 

@@ -10,6 +10,15 @@
 //! * [`TrajectorySimulator`] — Monte-Carlo averaging of many stochastic
 //!   state-vector runs; approaches the density-matrix result as the number of
 //!   trajectories grows, at state-vector memory cost.
+//!
+//! All three consume circuits through a compiled execution plan: the
+//! [`fusion`] pass first coalesces runs of adjacent gates into fused
+//! superblocks (configurable via [`FusionConfig`], on by default), and the
+//! per-step stride plans, operator classifications and noise channels are
+//! precomputed once and reused across shots and trajectories. Use
+//! [`StatevectorSimulator::compile`] to hold on to the plan across calls.
+
+pub mod fusion;
 
 mod density;
 mod kernels;
@@ -17,7 +26,8 @@ mod statevector;
 mod trajectory;
 
 pub use density::DensityMatrixSimulator;
-pub use statevector::{RunOutput, StatevectorSimulator};
+pub use fusion::{FusionConfig, FusionStats};
+pub use statevector::{CompiledCircuit, RunOutput, StatevectorSimulator};
 pub use trajectory::TrajectorySimulator;
 
 use rand::Rng;

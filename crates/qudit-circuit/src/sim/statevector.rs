@@ -11,7 +11,8 @@ use crate::circuit::{Circuit, Instruction};
 use crate::error::{CircuitError, Result};
 use crate::noise::NoiseModel;
 use crate::observable::Observable;
-use crate::sim::kernels::{CircuitKernels, InstKernel, RunScratch};
+use crate::sim::fusion::{FusionConfig, FusionStats};
+use crate::sim::kernels::{CircuitKernels, ExecStep, RunScratch};
 use crate::sim::{apply_channel_prepared, apply_readout_flip};
 
 /// Output of a state-vector run: the final state and any recorded
@@ -25,6 +26,39 @@ pub struct RunOutput {
     pub measurements: Vec<(Vec<usize>, Vec<usize>)>,
 }
 
+/// A circuit compiled against a simulator's noise model and fusion
+/// configuration: the reusable execution plan (fused superblocks, stride
+/// plans, operator classifications, noise channels) behind every shot and
+/// trajectory. Compile once with [`StatevectorSimulator::compile`], then run
+/// it any number of times with [`StatevectorSimulator::run_compiled`] to
+/// amortise the compilation work across runs.
+#[derive(Debug, Clone)]
+pub struct CompiledCircuit {
+    pub(crate) kernels: CircuitKernels,
+    /// The noise model the plan was compiled against; runs under a simulator
+    /// with a different model are rejected (the plan bakes in gate-level
+    /// channels, so executing it under another model would silently mix the
+    /// two).
+    noise: NoiseModel,
+}
+
+impl CompiledCircuit {
+    /// What the fusion pass did to the circuit.
+    pub fn fusion_stats(&self) -> FusionStats {
+        self.kernels.stats
+    }
+
+    /// Number of steps in the compiled execution plan.
+    pub fn num_steps(&self) -> usize {
+        self.kernels.steps.len()
+    }
+
+    /// Per-qudit dimensions of the register the plan was compiled for.
+    pub fn dims(&self) -> &[usize] {
+        &self.kernels.dims
+    }
+}
+
 /// A state-vector simulator.
 ///
 /// Deterministic circuits evolve exactly; measurements, resets and explicit
@@ -35,6 +69,7 @@ pub struct StatevectorSimulator {
     seed: u64,
     noise: NoiseModel,
     threads: usize,
+    fusion: FusionConfig,
 }
 
 impl Default for StatevectorSimulator {
@@ -46,12 +81,17 @@ impl Default for StatevectorSimulator {
 impl StatevectorSimulator {
     /// Creates a simulator with the default seed and no noise model.
     pub fn new() -> Self {
-        Self { seed: 0xC0FFEE, noise: NoiseModel::noiseless(), threads: 0 }
+        Self {
+            seed: 0xC0FFEE,
+            noise: NoiseModel::noiseless(),
+            threads: 0,
+            fusion: FusionConfig::default(),
+        }
     }
 
     /// Creates a simulator with an explicit seed.
     pub fn with_seed(seed: u64) -> Self {
-        Self { seed, noise: NoiseModel::noiseless(), threads: 0 }
+        Self { seed, ..Self::new() }
     }
 
     /// Attaches a gate-level noise model; noise channels are inserted
@@ -69,6 +109,62 @@ impl StatevectorSimulator {
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
         self
+    }
+
+    /// Sets the gate-fusion configuration (enabled by default; see
+    /// [`crate::sim::fusion`]). Fusion changes results only at the level of
+    /// floating-point rounding.
+    #[must_use]
+    pub fn with_fusion(mut self, fusion: FusionConfig) -> Self {
+        self.fusion = fusion;
+        self
+    }
+
+    /// Compiles a circuit into its reusable execution plan (fusion pass,
+    /// stride plans, operator classifications, noise channels).
+    ///
+    /// # Errors
+    /// Returns an error for invalid instructions.
+    pub fn compile(&self, circuit: &Circuit) -> Result<CompiledCircuit> {
+        Ok(CompiledCircuit {
+            kernels: CircuitKernels::with_config(circuit, &self.noise, &self.fusion)?,
+            noise: self.noise.clone(),
+        })
+    }
+
+    /// Runs a precompiled circuit from `|0...0⟩` with the simulator's seed.
+    /// Equivalent to [`StatevectorSimulator::run_detailed`] on the source
+    /// circuit, minus the per-run compilation work.
+    ///
+    /// # Errors
+    /// Returns an error for invalid dimensions.
+    pub fn run_compiled(&self, compiled: &CompiledCircuit) -> Result<RunOutput> {
+        let initial =
+            QuditState::zero(compiled.kernels.dims.clone()).map_err(CircuitError::Core)?;
+        self.run_compiled_from(compiled, &initial)
+    }
+
+    /// Runs a precompiled circuit from an arbitrary initial state.
+    ///
+    /// # Errors
+    /// Returns an error if the initial state register differs from the
+    /// compiled circuit's, or if this simulator's noise model differs from
+    /// the one the plan was compiled against (gate-level channels are baked
+    /// into the plan, so a mismatch would silently mix two models).
+    pub fn run_compiled_from(
+        &self,
+        compiled: &CompiledCircuit,
+        initial: &QuditState,
+    ) -> Result<RunOutput> {
+        if compiled.noise != self.noise {
+            return Err(CircuitError::Unsupported(
+                "compiled circuit was built under a different noise model; recompile with \
+                 this simulator's model"
+                    .into(),
+            ));
+        }
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        self.run_prepared(&compiled.kernels, initial, &mut rng)
     }
 
     /// Runs the circuit from `|0...0⟩` and returns the final state
@@ -112,53 +208,49 @@ impl StatevectorSimulator {
         initial: &QuditState,
         rng: &mut StdRng,
     ) -> Result<RunOutput> {
-        let kernels = CircuitKernels::new(circuit, &self.noise)?;
-        self.run_prepared(circuit, &kernels, initial, rng)
+        let kernels = CircuitKernels::with_config(circuit, &self.noise, &self.fusion)?;
+        self.run_prepared(&kernels, initial, rng)
     }
 
-    /// Runs the circuit through precompiled [`CircuitKernels`], the shared
-    /// path behind every shot and trajectory loop: stride plans, operator
+    /// Runs a compiled execution plan, the shared path behind every shot and
+    /// trajectory loop: fused superblocks, stride plans, operator
     /// classifications and noise channels are reused, and one scratch buffer
     /// serves the whole run.
     pub(crate) fn run_prepared(
         &self,
-        circuit: &Circuit,
         kernels: &CircuitKernels,
         initial: &QuditState,
         rng: &mut StdRng,
     ) -> Result<RunOutput> {
-        if initial.radix() != circuit.radix() {
+        if initial.radix().dims() != kernels.dims {
             return Err(CircuitError::InvalidTargets(format!(
                 "initial state register {:?} does not match circuit register {:?}",
                 initial.radix().dims(),
-                circuit.dims()
+                kernels.dims
             )));
         }
         let mut state = initial.clone();
         let mut measurements = Vec::new();
         let mut scratch = RunScratch::default();
-        let dims = circuit.dims();
+        let dims = &kernels.dims;
 
-        for (inst, kernel) in circuit.instructions().iter().zip(kernels.per_inst.iter()) {
-            match (inst, kernel) {
-                (
-                    Instruction::Unitary { gate, targets: _ },
-                    InstKernel::Unitary { plan, kind, noise },
-                ) => {
+        for step in &kernels.steps {
+            match step {
+                ExecStep::Apply { plan, kind, op, noise } => {
                     state
-                        .apply_prepared(plan, kind, gate.matrix(), &mut scratch.block)
+                        .apply_prepared(plan, kind, op, &mut scratch.block)
                         .map_err(CircuitError::Core)?;
                     for channel in noise {
                         apply_channel_prepared(&mut state, channel, rng, &mut scratch)?;
                     }
                 }
-                (Instruction::Measure { targets }, _) => {
+                ExecStep::Measure { targets } => {
                     let mut outcome = state.measure(targets, rng).map_err(CircuitError::Core)?;
                     let target_dims: Vec<usize> = targets.iter().map(|&t| dims[t]).collect();
                     apply_readout_flip(&mut outcome, &target_dims, self.noise.readout_flip, rng);
                     measurements.push((targets.clone(), outcome));
                 }
-                (Instruction::Reset { target }, _) => {
+                ExecStep::Reset { target } => {
                     let outcome = state.measure(&[*target], rng).map_err(CircuitError::Core)?;
                     // Rotate the observed level back to |0⟩ with a shift gate.
                     let level = outcome[0];
@@ -170,16 +262,13 @@ impl StatevectorSimulator {
                             .map_err(CircuitError::Core)?;
                     }
                 }
-                (Instruction::Channel { .. }, InstKernel::Channel(channel)) => {
+                ExecStep::Channel(channel) => {
                     apply_channel_prepared(&mut state, channel, rng, &mut scratch)?;
                 }
-                (Instruction::Barrier, _) => {
+                ExecStep::Barrier => {
                     for channel in &kernels.barrier_loss {
                         apply_channel_prepared(&mut state, channel, rng, &mut scratch)?;
                     }
-                }
-                (inst, kernel) => {
-                    unreachable!("instruction/kernel mismatch: {inst:?} vs {kernel:?}")
                 }
             }
         }
@@ -219,7 +308,7 @@ impl StatevectorSimulator {
             // Stochastic circuit: every shot re-runs the circuit with its own
             // index-derived seed, so the shot loop is embarrassingly parallel
             // and its outcome is independent of the thread count.
-            let kernels = CircuitKernels::new(circuit, &self.noise)?;
+            let kernels = CircuitKernels::with_config(circuit, &self.noise, &self.fusion)?;
             let initial = QuditState::zero(circuit.dims().to_vec()).map_err(CircuitError::Core)?;
             let threads =
                 if self.threads == 0 { qudit_core::par::max_threads() } else { self.threads };
@@ -228,7 +317,7 @@ impl StatevectorSimulator {
                     let mut shot_rng = StdRng::seed_from_u64(
                         self.seed.wrapping_add(0x9E37_79B9).wrapping_mul(shot as u64 + 1),
                     );
-                    let out = self.run_prepared(circuit, &kernels, &initial, &mut shot_rng)?;
+                    let out = self.run_prepared(&kernels, &initial, &mut shot_rng)?;
                     let mut digits = out.state.sample(&mut shot_rng);
                     apply_readout_flip(
                         &mut digits,

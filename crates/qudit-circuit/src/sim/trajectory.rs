@@ -25,6 +25,7 @@ use crate::circuit::Circuit;
 use crate::error::{CircuitError, Result};
 use crate::noise::NoiseModel;
 use crate::observable::Observable;
+use crate::sim::fusion::FusionConfig;
 use crate::sim::kernels::CircuitKernels;
 use crate::sim::statevector::StatevectorSimulator;
 
@@ -35,6 +36,7 @@ pub struct TrajectorySimulator {
     seed: u64,
     noise: NoiseModel,
     threads: usize,
+    fusion: FusionConfig,
 }
 
 /// Mean and standard error of a trajectory-averaged expectation value.
@@ -56,6 +58,7 @@ impl TrajectorySimulator {
             seed: 0x7247,
             noise: NoiseModel::noiseless(),
             threads: 0,
+            fusion: FusionConfig::default(),
         }
     }
 
@@ -78,6 +81,14 @@ impl TrajectorySimulator {
     #[must_use]
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// Sets the gate-fusion configuration used when compiling the circuit
+    /// (enabled by default; see [`crate::sim::fusion`]).
+    #[must_use]
+    pub fn with_fusion(mut self, fusion: FusionConfig) -> Self {
+        self.fusion = fusion;
         self
     }
 
@@ -119,7 +130,7 @@ impl TrajectorySimulator {
         acc: &mut A,
         mut fold: impl FnMut(&mut A, T),
     ) -> Result<()> {
-        let kernels = CircuitKernels::new(circuit, &self.noise)?;
+        let kernels = CircuitKernels::with_config(circuit, &self.noise, &self.fusion)?;
         let initial = QuditState::zero(circuit.dims().to_vec()).map_err(CircuitError::Core)?;
         let sv = StatevectorSimulator::new().with_noise(self.noise.clone());
         let threads = self.resolved_threads();
@@ -130,7 +141,7 @@ impl TrajectorySimulator {
             let results = par::par_map_threads(len, threads, |i| {
                 let t = start + i;
                 let mut rng = StdRng::seed_from_u64(self.traj_seed(t));
-                let out = sv.run_prepared(circuit, &kernels, &initial, &mut rng)?;
+                let out = sv.run_prepared(&kernels, &initial, &mut rng)?;
                 f(t, &out.state)
             });
             for r in results {

@@ -31,6 +31,32 @@ use crate::error::{CoreError, Result};
 use crate::matrix::CMatrix;
 use crate::radix::Radix;
 
+/// Dot product `Σ_c a[c] · b[c]` with four independent accumulators, so the
+/// complex multiply-add latency chain is a quarter as deep as a single
+/// running sum. The summation order differs from a naive left fold (it sums
+/// four interleaved partial series), which is within the workspace's
+/// documented floating-point contract for dense kernels.
+#[inline]
+fn dot4(a: &[Complex64], b: &[Complex64]) -> Complex64 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc0 = Complex64::ZERO;
+    let mut acc1 = Complex64::ZERO;
+    let mut acc2 = Complex64::ZERO;
+    let mut acc3 = Complex64::ZERO;
+    let mut chunks_a = a.chunks_exact(4);
+    let mut chunks_b = b.chunks_exact(4);
+    for (ca, cb) in chunks_a.by_ref().zip(chunks_b.by_ref()) {
+        acc0 = ca[0].mul_add(cb[0], acc0);
+        acc1 = ca[1].mul_add(cb[1], acc1);
+        acc2 = ca[2].mul_add(cb[2], acc2);
+        acc3 = ca[3].mul_add(cb[3], acc3);
+    }
+    for (x, y) in chunks_a.remainder().iter().zip(chunks_b.remainder().iter()) {
+        acc0 = x.mul_add(*y, acc0);
+    }
+    (acc0 + acc1) + (acc2 + acc3)
+}
+
 /// Structural classification of an operator matrix (see module docs).
 #[derive(Debug, Clone, PartialEq)]
 pub enum OpKind {
@@ -116,6 +142,14 @@ pub struct ApplyPlan {
     spectator_dims: Vec<usize>,
     spectator_strides: Vec<usize>,
     spectator_count: usize,
+    /// `Some(s)` when `sub_offsets[j] == j * s` for every `j` — i.e. the
+    /// targets are consecutive register qudits in ascending order, so the
+    /// target subspace is laid out at a single constant stride. The dense and
+    /// diagonal kernels then index arithmetically instead of through the
+    /// offset table, and at `s == 1` (a contiguous register suffix) the dense
+    /// kernel degenerates to a tight matrix–panel product on contiguous
+    /// memory.
+    uniform_stride: Option<usize>,
 }
 
 impl ApplyPlan {
@@ -153,6 +187,13 @@ impl ApplyPlan {
             spectators.iter().map(|&k| radix.stride(k).expect("validated")).collect();
         let spectator_count = spectator_dims.iter().product::<usize>().max(1);
 
+        let uniform_stride = if sub_dim >= 2 {
+            let s = sub_offsets[1];
+            sub_offsets.iter().enumerate().all(|(j, &off)| off == j * s).then_some(s)
+        } else {
+            Some(1)
+        };
+
         Ok(Self {
             total_dim: radix.total_dim(),
             sub_dim,
@@ -160,6 +201,7 @@ impl ApplyPlan {
             spectator_dims,
             spectator_strides,
             spectator_count,
+            uniform_stride,
         })
     }
 
@@ -187,6 +229,15 @@ impl ApplyPlan {
         &self.sub_offsets
     }
 
+    /// `Some(s)` when the target subspace is laid out at constant stride `s`
+    /// (`sub_offsets[j] == j * s`); `Some(1)` means the targets form a
+    /// contiguous register suffix. See the field docs for how the kernels
+    /// exploit this.
+    #[inline]
+    pub fn uniform_stride(&self) -> Option<usize> {
+        self.uniform_stride
+    }
+
     /// Invokes `f(base)` for every spectator configuration, where `base` is
     /// the flat index with all target digits zero.
     #[inline]
@@ -196,7 +247,16 @@ impl ApplyPlan {
             f(0);
             return;
         }
-        let mut digits = vec![0usize; k];
+        // Registers this workspace simulates stay far below 32 qudits, so the
+        // odometer runs on a stack buffer instead of a per-call allocation.
+        let mut stack = [0usize; 32];
+        let mut heap;
+        let digits: &mut [usize] = if k <= 32 {
+            &mut stack[..k]
+        } else {
+            heap = vec![0usize; k];
+            &mut heap
+        };
         let mut base = 0usize;
         loop {
             f(base);
@@ -279,12 +339,25 @@ impl ApplyPlan {
         match kind {
             OpKind::Diagonal(diag) => {
                 self.check_op(diag.len())?;
-                self.for_each_block(|base| {
-                    for (j, d) in diag.iter().enumerate() {
-                        let idx = offset + stride * (base + self.sub_offsets[j]);
-                        data[idx] *= *d;
-                    }
-                });
+                if let Some(s) = self.uniform_stride {
+                    // Constant-stride layout: pure index arithmetic, no
+                    // offset-table lookups.
+                    let step = stride * s;
+                    self.for_each_block(|base| {
+                        let mut idx = offset + stride * base;
+                        for d in diag.iter() {
+                            data[idx] *= *d;
+                            idx += step;
+                        }
+                    });
+                } else {
+                    self.for_each_block(|base| {
+                        for (j, d) in diag.iter().enumerate() {
+                            let idx = offset + stride * (base + self.sub_offsets[j]);
+                            data[idx] *= *d;
+                        }
+                    });
+                }
             }
             OpKind::Monomial { rows, coeffs, .. } => {
                 self.check_op(rows.len())?;
@@ -305,20 +378,78 @@ impl ApplyPlan {
             }
             OpKind::Dense => {
                 self.check_op_matrix(op)?;
-                scratch.resize(self.sub_dim, Complex64::ZERO);
-                self.for_each_block(|base| {
-                    for (j, s) in scratch.iter_mut().enumerate() {
-                        *s = data[offset + stride * (base + self.sub_offsets[j])];
+                match (self.uniform_stride, stride) {
+                    // Unit-stride caller and consecutive ascending targets:
+                    // the register reshapes into contiguous `sub_dim × s`
+                    // panels (`s` = product of the trailing spectator
+                    // dimensions), and the block application becomes a tight
+                    // matrix–panel product on sequential memory — the fast
+                    // path fused superblocks are built to hit.
+                    (Some(1), 1) => {
+                        scratch.resize(self.sub_dim, Complex64::ZERO);
+                        self.for_each_block(|base| {
+                            let start = offset + base;
+                            let block = &mut data[start..start + self.sub_dim];
+                            scratch.copy_from_slice(block);
+                            for (row, out) in block.iter_mut().enumerate() {
+                                *out = dot4(op.row(row), scratch);
+                            }
+                        });
                     }
-                    for (row, &off) in self.sub_offsets.iter().enumerate() {
-                        let op_row = op.row(row);
-                        let mut acc = Complex64::ZERO;
-                        for (col, s) in scratch.iter().enumerate() {
-                            acc = op_row[col].mul_add(*s, acc);
+                    (Some(s), 1) => {
+                        let chunk = self.sub_dim * s;
+                        let hi_blocks = self.total_dim / chunk;
+                        scratch.resize(chunk, Complex64::ZERO);
+                        for hi in 0..hi_blocks {
+                            let start = offset + hi * chunk;
+                            let block = &mut data[start..start + chunk];
+                            scratch.copy_from_slice(block);
+                            // block[r·s + lo] = Σ_c op[r, c] · scratch[c·s + lo]:
+                            // an `s`-wide contiguous axpy per operator entry.
+                            for (r, out_row) in block.chunks_exact_mut(s).enumerate() {
+                                out_row.fill(Complex64::ZERO);
+                                for (in_row, &a) in scratch.chunks_exact(s).zip(op.row(r).iter()) {
+                                    if a == Complex64::ZERO {
+                                        continue;
+                                    }
+                                    for (o, &x) in out_row.iter_mut().zip(in_row.iter()) {
+                                        *o = a.mul_add(x, *o);
+                                    }
+                                }
+                            }
                         }
-                        data[offset + stride * (base + off)] = acc;
                     }
-                });
+                    // Constant-stride layout under a strided caller:
+                    // arithmetic indexing only.
+                    (Some(s), _) => {
+                        scratch.resize(self.sub_dim, Complex64::ZERO);
+                        let step = s * stride;
+                        self.for_each_block(|base| {
+                            let start = offset + stride * base;
+                            let mut idx = start;
+                            for slot in scratch.iter_mut() {
+                                *slot = data[idx];
+                                idx += step;
+                            }
+                            let mut idx = start;
+                            for row in 0..self.sub_dim {
+                                data[idx] = dot4(op.row(row), scratch);
+                                idx += step;
+                            }
+                        });
+                    }
+                    (None, _) => {
+                        scratch.resize(self.sub_dim, Complex64::ZERO);
+                        self.for_each_block(|base| {
+                            for (j, slot) in scratch.iter_mut().enumerate() {
+                                *slot = data[offset + stride * (base + self.sub_offsets[j])];
+                            }
+                            for (row, &off) in self.sub_offsets.iter().enumerate() {
+                                data[offset + stride * (base + off)] = dot4(op.row(row), scratch);
+                            }
+                        });
+                    }
+                }
             }
         }
         Ok(())
@@ -364,12 +495,7 @@ impl ApplyPlan {
                         *s = amps[base + self.sub_offsets[j]];
                     }
                     for row in 0..self.sub_dim {
-                        let op_row = op.row(row);
-                        let mut sum = Complex64::ZERO;
-                        for (col, s) in scratch.iter().enumerate() {
-                            sum = op_row[col].mul_add(*s, sum);
-                        }
-                        acc += sum.norm_sqr();
+                        acc += dot4(op.row(row), scratch).norm_sqr();
                     }
                 });
             }
@@ -419,12 +545,7 @@ impl ApplyPlan {
                         *s = amps[base + self.sub_offsets[j]];
                     }
                     for (row, &off) in self.sub_offsets.iter().enumerate() {
-                        let op_row = op.row(row);
-                        let mut sum = Complex64::ZERO;
-                        for (col, s) in scratch.iter().enumerate() {
-                            sum = op_row[col].mul_add(*s, sum);
-                        }
-                        acc += amps[base + off].conj() * sum;
+                        acc += amps[base + off].conj() * dot4(op.row(row), scratch);
                     }
                 });
             }
@@ -619,6 +740,61 @@ mod tests {
             plan.apply(&kind, &op, &mut applied, &mut scratch).unwrap();
             let eager: f64 = applied.iter().map(|z| z.norm_sqr()).sum();
             assert!((lazy - eager).abs() < 1e-12, "{lazy} vs {eager}");
+        }
+    }
+
+    #[test]
+    fn uniform_stride_detection() {
+        let radix = Radix::new(vec![2, 3, 4, 2]).unwrap();
+        // Contiguous suffix, ascending: unit stride.
+        let plan = ApplyPlan::new(&radix, &[2, 3]).unwrap();
+        assert_eq!(plan.uniform_stride(), Some(1));
+        // Consecutive interior qudits, ascending: constant stride = stride of
+        // the last target.
+        let plan = ApplyPlan::new(&radix, &[1, 2]).unwrap();
+        assert_eq!(plan.uniform_stride(), Some(2));
+        // Single target: always constant stride.
+        let plan = ApplyPlan::new(&radix, &[1]).unwrap();
+        assert_eq!(plan.uniform_stride(), Some(8));
+        // Reversed order breaks the layout.
+        let plan = ApplyPlan::new(&radix, &[3, 2]).unwrap();
+        assert_eq!(plan.uniform_stride(), None);
+        // Non-adjacent targets break it too.
+        let plan = ApplyPlan::new(&radix, &[0, 2]).unwrap();
+        assert_eq!(plan.uniform_stride(), None);
+    }
+
+    #[test]
+    fn uniform_stride_fast_path_matches_general_kernel() {
+        // Same operator applied through a uniform-stride plan and through a
+        // permuted-target (general) plan must agree with the embed reference.
+        use crate::radix::embed_operator;
+        let radix = Radix::new(vec![2, 3, 2, 2]).unwrap();
+        let amps: Vec<Complex64> = (0..radix.total_dim())
+            .map(|i| c64(0.3 + 0.01 * i as f64, -0.2 + 0.02 * i as f64))
+            .collect();
+        let mut scratch = Vec::new();
+        for targets in [vec![2, 3], vec![1, 2], vec![0], vec![3]] {
+            let sub = radix.subspace_dim(&targets).unwrap();
+            for op in [
+                CMatrix::from_fn(sub, sub, |i, j| {
+                    c64(0.1 * (i + 2 * j) as f64 + 0.5, 0.05 * i as f64 - 0.03 * j as f64)
+                }),
+                CMatrix::diag(
+                    &(0..sub).map(|k| c64(0.2 * k as f64 + 0.1, 0.3)).collect::<Vec<_>>(),
+                ),
+            ] {
+                let plan = ApplyPlan::new(&radix, &targets).unwrap();
+                assert!(plan.uniform_stride().is_some(), "targets {targets:?}");
+                let kind = OpKind::classify(&op);
+                let mut fast = amps.clone();
+                plan.apply(&kind, &op, &mut fast, &mut scratch).unwrap();
+                let full = embed_operator(&radix, &op, &targets).unwrap();
+                let reference = full.matvec(&amps).unwrap();
+                for (a, b) in fast.iter().zip(reference.iter()) {
+                    assert!((*a - *b).abs() < 1e-12, "targets {targets:?}");
+                }
+            }
         }
     }
 

@@ -196,8 +196,25 @@ impl DensityMatrix {
     /// Returns an error for invalid targets or operator dimensions.
     pub fn apply_unitary(&mut self, u: &CMatrix, targets: &[usize]) -> Result<()> {
         let plan = ApplyPlan::new(&self.radix, targets)?;
+        let kind = OpKind::classify(u);
         let mut scratch = Vec::new();
-        Self::sandwich(&plan, u, &mut self.matrix, &mut scratch)
+        Self::sandwich(&plan, u, &kind, &mut self.matrix, &mut scratch)
+    }
+
+    /// [`DensityMatrix::apply_unitary`] through a precomputed [`ApplyPlan`]
+    /// and [`OpKind`], the plan-reuse path the circuit simulators use:
+    /// `scratch` is caller-owned working memory.
+    ///
+    /// # Errors
+    /// Returns an error if the plan or operator dimensions do not match.
+    pub fn apply_unitary_prepared(
+        &mut self,
+        plan: &ApplyPlan,
+        kind: &OpKind,
+        u: &CMatrix,
+        scratch: &mut Vec<Complex64>,
+    ) -> Result<()> {
+        Self::sandwich(plan, u, kind, &mut self.matrix, scratch)
     }
 
     /// Applies a Kraus channel `ρ → Σ_k K_k ρ K_k†` on the listed targets.
@@ -206,19 +223,42 @@ impl DensityMatrix {
     /// Returns an error for invalid targets, operator dimensions or an empty
     /// Kraus list.
     pub fn apply_kraus(&mut self, kraus: &[CMatrix], targets: &[usize]) -> Result<()> {
+        let plan = ApplyPlan::new(&self.radix, targets)?;
+        let kinds: Vec<OpKind> = kraus.iter().map(OpKind::classify).collect();
+        let mut scratch = Vec::new();
+        self.apply_kraus_prepared(&plan, kraus, &kinds, &mut scratch)
+    }
+
+    /// [`DensityMatrix::apply_kraus`] through a precomputed [`ApplyPlan`] and
+    /// per-operator [`OpKind`]s (plan-reuse path for the circuit simulators).
+    ///
+    /// # Errors
+    /// Returns an error for invalid dimensions or an empty Kraus list.
+    pub fn apply_kraus_prepared(
+        &mut self,
+        plan: &ApplyPlan,
+        kraus: &[CMatrix],
+        kinds: &[OpKind],
+        scratch: &mut Vec<Complex64>,
+    ) -> Result<()> {
         if kraus.is_empty() {
             return Err(CoreError::InvalidArgument("empty Kraus operator list".into()));
         }
-        let plan = ApplyPlan::new(&self.radix, targets)?;
+        if kinds.len() != kraus.len() {
+            return Err(CoreError::InvalidArgument(format!(
+                "{} Kraus operators but {} classifications",
+                kraus.len(),
+                kinds.len()
+            )));
+        }
         let n = self.dim();
-        let mut scratch = Vec::new();
         let mut acc = CMatrix::zeros(n, n);
         let mut term = self.matrix.clone();
-        for (i, k) in kraus.iter().enumerate() {
+        for (i, (k, kind)) in kraus.iter().zip(kinds.iter()).enumerate() {
             if i > 0 {
                 term.as_mut_slice().copy_from_slice(self.matrix.as_slice());
             }
-            Self::sandwich(&plan, k, &mut term, &mut scratch)?;
+            Self::sandwich(plan, k, kind, &mut term, scratch)?;
             acc += &term;
         }
         self.matrix = acc;
@@ -231,15 +271,15 @@ impl DensityMatrix {
     fn sandwich(
         plan: &ApplyPlan,
         k: &CMatrix,
+        kind: &OpKind,
         m: &mut CMatrix,
         scratch: &mut Vec<Complex64>,
     ) -> Result<()> {
         let n = m.rows();
-        let kind = OpKind::classify(k);
         // Left action: each column j is a state over the row index, stored at
         // stride n starting at offset j.
         for j in 0..n {
-            plan.apply_strided(&kind, k, m.as_mut_slice(), n, j, scratch)?;
+            plan.apply_strided(kind, k, m.as_mut_slice(), n, j, scratch)?;
         }
         // Right action by K†: (m K†)[i, j] = Σ_c m[i, c] conj(K[j, c]), i.e.
         // apply conj(K) along each contiguous row.

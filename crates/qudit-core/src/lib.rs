@@ -11,7 +11,7 @@
 //! dimensions that near-term qudit processors — and therefore this
 //! workspace's simulators — actually reach.
 //!
-//! ## Hot-path architecture (PR 1)
+//! ## Hot-path architecture (PR 1, extended in PR 2)
 //!
 //! Every simulation kernel routes through two building blocks:
 //!
@@ -23,14 +23,24 @@
 //!   classification) it powers `apply_operator`, expectation values,
 //!   marginals, measurement collapse, reduced density matrices, Kraus-branch
 //!   norms and the density-matrix superoperator kernels — with no
-//!   per-amplitude digit decompositions anywhere.
-//! * [`par`] — a dependency-free `std::thread::scope` fork-join helper
-//!   whose `par_map` preserves index order, so the circuit simulators'
-//!   trajectory/shot loops parallelise with bitwise-identical results to
-//!   the serial order.
+//!   per-amplitude digit decompositions anywhere. Plans for consecutive
+//!   ascending targets detect their **uniform-stride layout** and run dense
+//!   blocks as tight matrix–panel products on contiguous memory instead of
+//!   through the offset-table gather/scatter (the layout gate fusion
+//!   produces); dense inner products use a four-accumulator reduction, so
+//!   their floating-point summation order is a fixed interleaving rather
+//!   than a left fold.
+//! * [`par`] — a dependency-free **persistent worker pool** (lazily spawned,
+//!   channel-fed contiguous chunks) whose `par_map` preserves index order,
+//!   so the circuit simulators' trajectory/shot loops parallelise with
+//!   results bitwise identical to the serial order, at any thread count,
+//!   without per-call thread spawn/join overhead. `QUDIT_NUM_THREADS`
+//!   overrides the default worker count.
 //!
 //! Repeated shot sampling goes through [`sampling::Cdf`], a cumulative
-//! distribution with O(log dim) binary-search draws.
+//! distribution with O(log dim) binary-search draws. In-place integrator
+//! loops use [`matrix::CMatrix::matmul_into`] / [`matrix::CMatrix::copy_from`]
+//! to stay allocation-free.
 //!
 //! ## Conventions
 //!
@@ -58,7 +68,7 @@
 //! let probs = state.marginal_probabilities(&[0]).unwrap();
 //! assert!((probs.iter().sum::<f64>() - 1.0).abs() < 1e-12);
 //! ```
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)] // single documented exception: the pool's lifetime erasure in `par`
 #![warn(missing_docs)]
 
 pub mod apply;

@@ -209,6 +209,18 @@ impl CMatrix {
         self.scaled(c64(s, 0.0))
     }
 
+    /// Overwrites `self` with the entries of `other` (shapes must match).
+    /// The allocation-free counterpart of `clone` for preallocated
+    /// workspaces.
+    ///
+    /// # Errors
+    /// Returns [`CoreError::ShapeMismatch`] if the shapes differ.
+    pub fn copy_from(&mut self, other: &CMatrix) -> Result<()> {
+        self.check_same_shape(other)?;
+        self.data.copy_from_slice(&other.data);
+        Ok(())
+    }
+
     /// Adds `s * other` to `self` in place.
     ///
     /// # Errors
@@ -226,13 +238,33 @@ impl CMatrix {
     /// # Errors
     /// Returns [`CoreError::ShapeMismatch`] if inner dimensions disagree.
     pub fn matmul(&self, other: &CMatrix) -> Result<CMatrix> {
+        let mut out = CMatrix::zeros(self.rows, other.cols);
+        self.matmul_into(other, &mut out)?;
+        Ok(out)
+    }
+
+    /// Matrix product `self * other` written into a caller-provided output
+    /// matrix (overwritten, not accumulated). The allocation-free variant of
+    /// [`CMatrix::matmul`] used by per-step integrator loops; the summation
+    /// order is identical, so both variants are bitwise equal.
+    ///
+    /// # Errors
+    /// Returns [`CoreError::ShapeMismatch`] if inner dimensions disagree or
+    /// `out` has the wrong shape.
+    pub fn matmul_into(&self, other: &CMatrix, out: &mut CMatrix) -> Result<()> {
         if self.cols != other.rows {
             return Err(CoreError::ShapeMismatch {
                 expected: format!("left.cols == right.rows ({} == {})", self.cols, other.rows),
                 found: format!("{}x{} * {}x{}", self.rows, self.cols, other.rows, other.cols),
             });
         }
-        let mut out = CMatrix::zeros(self.rows, other.cols);
+        if out.rows != self.rows || out.cols != other.cols {
+            return Err(CoreError::ShapeMismatch {
+                expected: format!("{}x{} output", self.rows, other.cols),
+                found: format!("{}x{} output", out.rows, out.cols),
+            });
+        }
+        out.data.fill(Complex64::ZERO);
         // i-k-j loop order keeps the inner accesses contiguous in both
         // `other` and `out`; for larger operands the i/k loops are tiled so a
         // block of `other` rows stays in cache across a block of output rows.
@@ -241,17 +273,17 @@ impl CMatrix {
         const TILE: usize = 32;
         if self.rows <= TILE || self.cols <= TILE {
             for i in 0..self.rows {
-                self.matmul_row_span(other, &mut out, i, 0, self.cols);
+                self.matmul_row_span(other, out, i, 0, self.cols);
             }
         } else {
             for k0 in (0..self.cols).step_by(TILE) {
                 let k1 = (k0 + TILE).min(self.cols);
                 for i in 0..self.rows {
-                    self.matmul_row_span(other, &mut out, i, k0, k1);
+                    self.matmul_row_span(other, out, i, k0, k1);
                 }
             }
         }
-        Ok(out)
+        Ok(())
     }
 
     /// Accumulates `out[i, :] += Σ_{k in k0..k1} self[i, k] · other[k, :]`.

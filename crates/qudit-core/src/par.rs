@@ -1,11 +1,35 @@
-//! Dependency-free fork-join parallelism for embarrassingly parallel loops.
+//! Dependency-free parallelism for embarrassingly parallel loops, backed by
+//! a persistent worker pool.
 //!
 //! The trajectory and shot loops in the circuit simulators are index-parallel:
 //! iteration `i` derives its own RNG seed from `i`, so iterations share no
 //! state and the result is a pure function of the index. [`par_map`] evaluates
-//! such a loop on `std::thread::scope` worker threads and reassembles the
-//! results **in index order**, so the output is bitwise identical to the
-//! serial loop regardless of thread count or scheduling.
+//! such a loop on pool worker threads and reassembles the results **in index
+//! order**, so the output is bitwise identical to the serial loop regardless
+//! of thread count or scheduling.
+//!
+//! ## The pool
+//!
+//! PR 1 used `std::thread::scope`, which spawns and joins OS threads on every
+//! call — measurable overhead when the per-call work is small (a short
+//! trajectory batch on a small register). The pool replaces that with
+//! **lazily-initialised, long-lived workers** fed through a shared channel:
+//!
+//! * Workers are spawned once, on the first parallel call, and live for the
+//!   process. The pool size is `max_threads() - 1` (the calling thread always
+//!   executes one chunk itself), with a floor of one worker so explicit
+//!   `par_map_threads` requests parallelise even when the machine reports a
+//!   single CPU.
+//! * A call splits `0..n` into `threads` contiguous chunks — the same
+//!   geometry as the scoped implementation — runs the first chunk inline and
+//!   feeds the rest to the queue. Chunks are reassembled by chunk index, so
+//!   the order invariance contract is untouched: requesting more chunks than
+//!   there are workers just queues them.
+//! * A chunk that panics reports the panic back; the caller drains **all**
+//!   outstanding chunks before resuming the unwind, so borrowed data is never
+//!   observed after the stack frame that owns it starts unwinding.
+//! * Workers never call back into the pool: a nested `par_map` on a worker
+//!   thread runs serially, which keeps the queue deadlock-free.
 //!
 //! This module deliberately carries no dependency (the build environment has
 //! no registry access, so `rayon` is unavailable); when a real work-stealing
@@ -15,9 +39,73 @@
 //! Thread count resolution: an explicit request (e.g.
 //! [`crate::par::par_map_threads`] or a simulator's `with_threads`) wins;
 //! otherwise the `QUDIT_NUM_THREADS` environment variable; otherwise
-//! [`std::thread::available_parallelism`].
+//! [`std::thread::available_parallelism`]. The pool itself is sized from
+//! `max_threads()` at first use; later `QUDIT_NUM_THREADS` changes still
+//! affect the default chunk count, and chunking beyond the worker count is
+//! always allowed.
 
+use std::cell::Cell;
 use std::num::NonZeroUsize;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// A type-erased unit of work executed by a pool worker.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct Pool {
+    sender: Mutex<Sender<Job>>,
+    workers: usize,
+}
+
+static POOL: OnceLock<Pool> = OnceLock::new();
+
+thread_local! {
+    /// Set on pool worker threads so nested parallel calls degrade to serial
+    /// execution instead of deadlocking the shared queue.
+    static IS_POOL_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// The process-wide worker pool, spawned on first use.
+fn pool() -> &'static Pool {
+    POOL.get_or_init(|| {
+        let workers = max_threads().max(2) - 1;
+        let (tx, rx) = channel::<Job>();
+        let rx = Arc::new(Mutex::new(rx));
+        for i in 0..workers {
+            let rx = Arc::clone(&rx);
+            std::thread::Builder::new()
+                .name(format!("qudit-par-{i}"))
+                .spawn(move || worker_loop(&rx))
+                .expect("failed to spawn pool worker thread");
+        }
+        Pool { sender: Mutex::new(tx), workers }
+    })
+}
+
+fn worker_loop(rx: &Mutex<Receiver<Job>>) {
+    IS_POOL_WORKER.with(|w| w.set(true));
+    loop {
+        // Take the lock only for the blocking receive; it is released before
+        // the job runs, so other workers can pick up queued jobs meanwhile.
+        let job = match rx.lock() {
+            Ok(guard) => guard.recv(),
+            Err(_) => return,
+        };
+        match job {
+            Ok(job) => job(),
+            // The sender lives in a static and is never dropped; an error
+            // here means the process is tearing down.
+            Err(_) => return,
+        }
+    }
+}
+
+/// Number of worker threads in the persistent pool (spawning it if needed).
+/// Exposed for diagnostics and benchmarks.
+pub fn pool_workers() -> usize {
+    pool().workers
+}
 
 /// Number of worker threads used when the caller does not specify one.
 pub fn max_threads() -> usize {
@@ -32,7 +120,8 @@ pub fn max_threads() -> usize {
 /// Maps `f` over `0..n` with the default thread count, preserving index order.
 ///
 /// Equivalent to `(0..n).map(f).collect()` — including, exactly, the result
-/// order — but evaluated on multiple threads when they are available.
+/// order — but evaluated on the persistent worker pool when more than one
+/// thread is available.
 pub fn par_map<T, F>(n: usize, f: F) -> Vec<T>
 where
     T: Send,
@@ -41,37 +130,85 @@ where
     par_map_threads(n, max_threads(), f)
 }
 
-/// Maps `f` over `0..n` on up to `threads` worker threads, preserving index
-/// order. `threads <= 1` runs serially on the calling thread.
+/// Maps `f` over `0..n` in up to `threads` contiguous chunks evaluated on the
+/// persistent worker pool, preserving index order. `threads <= 1` runs
+/// serially on the calling thread; the result is bitwise identical for every
+/// `threads` value.
+#[allow(unsafe_code)] // one lifetime erasure, justified below
 pub fn par_map_threads<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
     let threads = threads.max(1).min(n);
-    if threads <= 1 {
+    if threads <= 1 || IS_POOL_WORKER.with(Cell::get) {
         return (0..n).map(f).collect();
     }
-    // Contiguous chunks: thread t evaluates [starts[t], starts[t+1]).
-    // Joining in thread order reassembles index order.
+
+    // Contiguous chunks: chunk t evaluates [starts[t], starts[t+1]).
+    // Reassembling by chunk index restores index order.
     let chunk = n / threads;
     let rem = n % threads;
-    let mut results: Vec<Vec<T>> = Vec::with_capacity(threads);
-    std::thread::scope(|scope| {
-        let f = &f;
-        let mut handles = Vec::with_capacity(threads);
-        let mut start = 0usize;
-        for t in 0..threads {
-            let len = chunk + usize::from(t < rem);
-            let range = start..start + len;
-            start += len;
-            handles.push(scope.spawn(move || range.map(f).collect::<Vec<T>>()));
+    let mut ranges = Vec::with_capacity(threads);
+    let mut start = 0usize;
+    for t in 0..threads {
+        let len = chunk + usize::from(t < rem);
+        ranges.push(start..start + len);
+        start += len;
+    }
+
+    let pool = pool();
+    let (done_tx, done_rx) = channel::<(usize, std::thread::Result<Vec<T>>)>();
+    let f = &f;
+    {
+        let queue = pool.sender.lock().expect("pool queue poisoned");
+        for (idx, range) in ranges.iter().enumerate().skip(1) {
+            let range = range.clone();
+            let done_tx = done_tx.clone();
+            let job: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+                let result = catch_unwind(AssertUnwindSafe(|| range.map(f).collect::<Vec<T>>()));
+                // The send is the job's completion signal; it must be the
+                // last use of any borrowed data and it cannot panic.
+                let _ = done_tx.send((idx, result));
+            });
+            // SAFETY: the job borrows `f` and moves a `Sender` whose payload
+            // type involves `T`, both valid only for this stack frame. The
+            // erasure to 'static is sound because this function does not
+            // return (not even by unwinding) until every submitted job has
+            // sent its completion message: the loop below receives exactly
+            // `threads - 1` messages inside a no-panic region, and each job
+            // unconditionally sends exactly one message as its final action
+            // (worker threads run jobs to completion and never unwind
+            // through them — panics inside `f` are caught above). Hence all
+            // borrows end before the frame is torn down.
+            let job: Job =
+                unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + '_>, Job>(job) };
+            queue.send(job).expect("pool workers outlive the queue");
         }
-        for h in handles {
-            results.push(h.join().expect("parallel worker panicked"));
+    }
+
+    // The calling thread contributes the first chunk instead of idling.
+    let own = catch_unwind(AssertUnwindSafe(|| ranges[0].clone().map(f).collect::<Vec<T>>()));
+
+    let mut slots: Vec<Option<Vec<T>>> = Vec::with_capacity(threads);
+    slots.resize_with(threads, || None);
+    let mut worker_panic = None;
+    for _ in 1..threads {
+        let (idx, result) = done_rx.recv().expect("pool job always reports completion");
+        match result {
+            Ok(values) => slots[idx] = Some(values),
+            Err(payload) => worker_panic = Some(payload),
         }
-    });
-    results.into_iter().flatten().collect()
+    }
+    // All jobs are quiescent from here on; propagating a panic is now safe.
+    match own {
+        Ok(values) => slots[0] = Some(values),
+        Err(payload) => resume_unwind(payload),
+    }
+    if let Some(payload) = worker_panic {
+        resume_unwind(payload);
+    }
+    slots.into_iter().flat_map(|v| v.expect("every chunk reported")).collect()
 }
 
 #[cfg(test)]
@@ -97,5 +234,54 @@ mod tests {
     #[test]
     fn more_threads_than_items_is_fine() {
         assert_eq!(par_map_threads(5, 64, |i| i + 1), vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn pool_is_reused_across_calls() {
+        // Many small parallel calls must all resolve against the same
+        // persistent pool (the pool would previously have spawned and torn
+        // down threads per call).
+        let workers = pool_workers();
+        assert!(workers >= 1);
+        for round in 0..50 {
+            let out = par_map_threads(17, 4, |i| i * round);
+            assert_eq!(out, (0..17).map(|i| i * round).collect::<Vec<_>>());
+        }
+        assert_eq!(pool_workers(), workers);
+    }
+
+    #[test]
+    fn borrowed_captures_are_supported() {
+        // The closure borrows stack data; the pool must complete every chunk
+        // before the frame returns.
+        let table: Vec<u64> = (0..256).map(|i| i as u64 * 3).collect();
+        let out = par_map_threads(256, 8, |i| table[i] + 1);
+        assert_eq!(out, (0..256).map(|i| i as u64 * 3 + 1).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn nested_calls_degrade_to_serial_without_deadlock() {
+        let out = par_map_threads(8, 4, |i| {
+            let inner = par_map_threads(4, 4, move |j| i * 10 + j);
+            inner.iter().sum::<usize>()
+        });
+        let expected: Vec<usize> =
+            (0..8).map(|i| (0..4).map(|j| i * 10 + j).sum::<usize>()).collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn panics_propagate_after_all_chunks_settle() {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            par_map_threads(64, 8, |i| {
+                if i == 37 {
+                    panic!("boom at {i}");
+                }
+                i
+            })
+        }));
+        assert!(result.is_err());
+        // The pool must still be functional afterwards.
+        assert_eq!(par_map_threads(4, 2, |i| i), vec![0, 1, 2, 3]);
     }
 }
