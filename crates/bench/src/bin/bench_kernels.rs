@@ -1,22 +1,21 @@
-//! Kernel benchmark harness for PR 2: times the fused-execution pipeline,
-//! the persistent worker pool and the in-place Lindblad RK4 against both the
-//! reconstructed seed baselines (see [`bench::baseline`]) and the PR-1
-//! optimized paths, prints a summary table and writes the numbers to
-//! `BENCH_2.json`.
+//! Kernel benchmark harness for PR 3: times the superoperator-batched
+//! density-matrix channel path on top of the PR-2 rows (fused-execution
+//! pipeline, persistent worker pool, in-place Lindblad RK4), prints a summary
+//! table and writes the numbers to `BENCH_3.json`.
 //!
-//! The PR-1 rows (trajectory expectation, deterministic sampling, raw
-//! sampler, measure/collapse) are re-measured unchanged so regressions
-//! against `BENCH_1.json` are visible; the new rows isolate what PR 2 adds:
+//! The PR-1/PR-2 rows (trajectory expectation, deterministic sampling, raw
+//! sampler, measure/collapse, statevector fusion, Lindblad, `par_map`
+//! overhead) are re-measured unchanged so regressions against earlier BENCH
+//! files are visible; `statevector_run` keeps its anchor to BENCH_1's frozen
+//! optimized time. The new rows isolate what PR 3 adds:
 //!
-//! * `statevector_run` — fusion ON through a precompiled plan vs the PR-1
-//!   per-call path (fusion off, plan rebuilt per run, exactly BENCH_1's
-//!   "optimized" measurement).
-//! * `statevector_run_fusion_off` — the same precompiled plan with fusion
-//!   disabled, isolating compile-amortisation from fusion proper.
-//! * `lindblad_evolve` — in-place `Rk4Workspace` integrator vs the PR-1
-//!   cloning RK4 (fills BENCH_1's `baseline_ms: null` hole).
-//! * `par_map_overhead_t{1,2,4}` — persistent-pool `par_map` vs the PR-1
-//!   scoped spawn-per-call implementation at 1/2/4 threads.
+//! * `density_run_noisy` — the noisy density-matrix channel workload through
+//!   the superoperator compiler (batching ON, precompiled plan) vs the PR-2
+//!   per-term Kraus path (batching OFF, per-call compile — exactly PR-2's
+//!   `run()` measurement method).
+//! * `density_run_noisy_percall` — batching ON through plain `run()`
+//!   (superoperator compile inside the timed region), isolating plan-reuse
+//!   from the batched sweeps proper.
 //!
 //! Run with `cargo run --release -p bench --bin bench_kernels`.
 
@@ -28,7 +27,9 @@ use rand::SeedableRng;
 
 use bench::{baseline, print_table, small_sqed_circuit};
 use qudit_circuit::noise::NoiseModel;
-use qudit_circuit::sim::{FusionConfig, StatevectorSimulator, TrajectorySimulator};
+use qudit_circuit::sim::{
+    DensityMatrixSimulator, FusionConfig, StatevectorSimulator, SuperopConfig, TrajectorySimulator,
+};
 use qudit_circuit::Observable;
 use qudit_core::density::DensityMatrix;
 use qudit_core::state::QuditState;
@@ -310,6 +311,59 @@ fn main() {
         optimized_s,
     });
 
+    // --- Noisy density-matrix channels: superoperator batching. ----------
+    // The Table-I workload under gate-level depolarising noise, evolved
+    // exactly: every gate is followed by per-target Kraus channels, which the
+    // PR-2 path materialises term by term (2m sweeps + m accumulations per
+    // m-operator channel) and PR 3 batches into single superoperator sweeps
+    // with channel-adjacent unitary folding.
+    let dsim = DensityMatrixSimulator::new().with_noise(noise.clone());
+    let dsim_per_term = DensityMatrixSimulator::new()
+        .with_noise(noise.clone())
+        .with_superop(SuperopConfig::disabled());
+    let compiled_density = dsim.compile(&circuit).unwrap();
+    let sstats = compiled_density.superop_stats();
+    assert!(
+        sstats.super_steps > 0 && sstats.multi_op_supers > 0,
+        "superoperator batching must engage on the noisy Table-I workload: {sstats:?}"
+    );
+    // Physics cross-check: batched and per-term paths land on the same state.
+    {
+        let a = dsim.run_compiled(&compiled_density).unwrap();
+        let b = dsim_per_term.run(&circuit).unwrap();
+        let diff = (a.matrix() - b.matrix()).max_abs();
+        assert!(diff < 1e-9, "superop/per-term runs diverged by {diff}");
+    }
+    let baseline_s = time_best(3, || {
+        // PR-2 measurement method: per-call compile, per-term channels.
+        std::hint::black_box(dsim_per_term.run(&circuit).unwrap());
+    });
+    let optimized_s = time_best(3, || {
+        std::hint::black_box(dsim.run_compiled(&compiled_density).unwrap());
+    });
+    entries.push(Entry {
+        name: "density_run_noisy".into(),
+        detail: format!(
+            "sQED {sites}x d={d}, {steps} Trotter steps, dim {dim} (rho {dim}x{dim}), \
+             depolarizing noise; superop batching ON, precompiled ({} sweeps, {} multi-op, \
+             max k {}) vs per-term Kraus path",
+            sstats.super_steps, sstats.multi_op_supers, sstats.max_super_dim
+        ),
+        baseline_s: Some(baseline_s),
+        optimized_s,
+    });
+    let percall_s = time_best(3, || {
+        std::hint::black_box(dsim.run(&circuit).unwrap());
+    });
+    entries.push(Entry {
+        name: "density_run_noisy_percall".into(),
+        detail: "same workload; superop batching ON through plain run() (compile inside the \
+                 timed region), isolating plan reuse from the batched sweeps"
+            .into(),
+        baseline_s: Some(baseline_s),
+        optimized_s: percall_s,
+    });
+
     // --- par_map spawn overhead: persistent pool vs scoped threads. ------
     // Many small calls with trivial per-item work measure the per-call
     // fork-join cost, which is what the pool eliminates.
@@ -354,19 +408,28 @@ fn main() {
         })
         .collect();
     print_table(
-        "PR 2 kernel benchmarks (best-of-N wall clock)",
+        "PR 3 kernel benchmarks (best-of-N wall clock)",
         &["kernel", "baseline ms", "optimized ms", "speedup"],
         &rows,
     );
 
-    // --- BENCH_2.json (hand-rolled: no JSON dependency offline). ---------
-    let mut json = String::from("{\n  \"bench\": 2,\n");
+    // --- BENCH_3.json (hand-rolled: no JSON dependency offline). ---------
+    let mut json = String::from("{\n  \"bench\": 3,\n");
     json.push_str(&format!(
         "  \"workload\": {{\"circuit\": \"small_sqed_circuit\", \"sites\": {sites}, \"link_dim\": {d}, \"trotter_steps\": {steps}, \"dim\": {dim}}},\n"
     ));
     json.push_str(&format!(
         "  \"fusion\": {{\"unitaries_in\": {}, \"unitary_steps_out\": {}, \"multi_gate_blocks\": {}, \"max_block_dim\": {}}},\n",
         stats.unitaries_in, stats.unitary_steps_out, stats.multi_gate_blocks, stats.max_block_dim
+    ));
+    json.push_str(&format!(
+        "  \"superop\": {{\"super_steps\": {}, \"multi_op_supers\": {}, \"ops_folded\": {}, \"unitary_steps\": {}, \"kraus_steps\": {}, \"max_super_dim\": {}}},\n",
+        sstats.super_steps,
+        sstats.multi_op_supers,
+        sstats.ops_folded,
+        sstats.unitary_steps,
+        sstats.kraus_steps,
+        sstats.max_super_dim
     ));
     json.push_str(&format!("  \"threads\": {},\n", qudit_core::par::max_threads()));
     json.push_str(&format!("  \"pool_workers\": {},\n", qudit_core::par::pool_workers()));
@@ -383,6 +446,6 @@ fn main() {
         ));
     }
     json.push_str("  ]\n}\n");
-    std::fs::write("BENCH_2.json", &json).expect("write BENCH_2.json");
-    println!("\nwrote BENCH_2.json");
+    std::fs::write("BENCH_3.json", &json).expect("write BENCH_3.json");
+    println!("\nwrote BENCH_3.json");
 }

@@ -161,7 +161,7 @@ pub fn sqed_chain(params: &SqedParams) -> Result<LatticeHamiltonian> {
 }
 
 /// Parameters of the (2+1)D pure-gauge U(1) rotor model on a rectangular
-/// ladder of plaquettes (dual-variable formulation of Ref. [12]).
+/// ladder of plaquettes (dual-variable formulation of Ref. \[12\]).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct RotorParams {
     /// Number of plaquette rows (2 for the paper's 9×2 ladder).

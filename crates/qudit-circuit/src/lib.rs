@@ -25,6 +25,13 @@
 //! via `with_fusion`. Use [`sim::StatevectorSimulator::compile`] to reuse a
 //! plan across many runs.
 //!
+//! ## Superoperator-batched density channels (PR 3)
+//!
+//! The density-matrix simulator compiles the fused plan once more: channels
+//! become single superoperator sweeps over vectorised ρ and channel-adjacent
+//! unitary runs fold into them where that never increases apply cost (see
+//! [`sim::SuperopConfig`] and [`qudit_core::superop`]).
+//!
 //! ## Example
 //!
 //! ```

@@ -1,21 +1,62 @@
 //! Exact open-system circuit simulation on density matrices.
+//!
+//! Since PR 3 the simulator consumes circuits through a **density-compiled**
+//! plan: the shared fused [`ExecStep`](crate::sim::fusion) pipeline is
+//! re-compiled into [`DensityStep`]s, where every channel whose superoperator
+//! `Σ K ⊗ conj(K)` is profitable executes as a *single* strided sweep over
+//! vectorised ρ (see [`qudit_core::superop`]), and channel-adjacent unitary
+//! runs fold into the same sweep under a fusion-style cost rule. Use
+//! [`DensityMatrixSimulator::compile`] to reuse a plan across runs.
 
 use std::collections::HashMap;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use qudit_core::complex::c64;
 use qudit_core::density::DensityMatrix;
-use qudit_core::matrix::CMatrix;
 
 use crate::circuit::Circuit;
 use crate::error::{CircuitError, Result};
-use crate::noise::{KrausChannel, NoiseModel};
+use crate::noise::NoiseModel;
 use crate::observable::Observable;
 use crate::sim::apply_readout_flip;
-use crate::sim::fusion::FusionConfig;
-use crate::sim::kernels::{CircuitKernels, ExecStep};
+use crate::sim::fusion::{FusionConfig, FusionStats};
+use crate::sim::kernels::{
+    CircuitKernels, DensityKernels, DensityStep, SuperopConfig, SuperopStats,
+};
+
+/// A circuit compiled for density-matrix execution: the fused plan plus the
+/// superoperator-batched channel sweeps. Compile once with
+/// [`DensityMatrixSimulator::compile`], then run it any number of times with
+/// [`DensityMatrixSimulator::run_compiled`].
+#[derive(Debug, Clone)]
+pub struct CompiledDensityCircuit {
+    pub(crate) kernels: DensityKernels,
+    /// The noise model the plan was compiled against (baked into the steps).
+    noise: NoiseModel,
+}
+
+impl CompiledDensityCircuit {
+    /// What the gate-fusion pass did to the circuit.
+    pub fn fusion_stats(&self) -> FusionStats {
+        self.kernels.fusion_stats
+    }
+
+    /// What the superoperator compiler did to the fused plan.
+    pub fn superop_stats(&self) -> SuperopStats {
+        self.kernels.stats
+    }
+
+    /// Number of steps in the compiled density plan.
+    pub fn num_steps(&self) -> usize {
+        self.kernels.steps.len()
+    }
+
+    /// Per-qudit dimensions of the register the plan was compiled for.
+    pub fn dims(&self) -> &[usize] {
+        &self.kernels.dims
+    }
+}
 
 /// A density-matrix simulator with an attached [`NoiseModel`].
 ///
@@ -23,17 +64,46 @@ use crate::sim::kernels::{CircuitKernels, ExecStep};
 /// measurements are treated non-selectively (the state is dephased in the
 /// computational basis of the measured qudits), which is the correct
 /// description when outcomes are averaged over.
+///
+/// # Example
+///
+/// ```
+/// use qudit_circuit::noise::NoiseModel;
+/// use qudit_circuit::sim::DensityMatrixSimulator;
+/// use qudit_circuit::{Circuit, Gate};
+///
+/// let mut c = Circuit::uniform(2, 3);
+/// c.push(Gate::fourier(3), &[0]).unwrap();
+/// c.push(Gate::csum(3, 3), &[0, 1]).unwrap();
+///
+/// let sim = DensityMatrixSimulator::new().with_noise(NoiseModel::depolarizing(1e-3, 1e-2));
+/// let rho = sim.run(&c).unwrap();
+/// assert!((rho.trace() - 1.0).abs() < 1e-9);
+/// assert!(rho.purity() < 1.0); // noise mixes the state
+///
+/// // Compile once to amortise plan construction over repeated runs.
+/// let compiled = sim.compile(&c).unwrap();
+/// assert!(compiled.superop_stats().super_steps > 0);
+/// let again = sim.run_compiled(&compiled).unwrap();
+/// assert!((again.purity() - rho.purity()).abs() < 1e-12);
+/// ```
 #[derive(Debug, Clone, Default)]
 pub struct DensityMatrixSimulator {
     noise: NoiseModel,
     seed: u64,
     fusion: FusionConfig,
+    superop: SuperopConfig,
 }
 
 impl DensityMatrixSimulator {
     /// Creates a noiseless density-matrix simulator.
     pub fn new() -> Self {
-        Self { noise: NoiseModel::noiseless(), seed: 0xDEC0DE, fusion: FusionConfig::default() }
+        Self {
+            noise: NoiseModel::noiseless(),
+            seed: 0xDEC0DE,
+            fusion: FusionConfig::default(),
+            superop: SuperopConfig::default(),
+        }
     }
 
     /// Attaches a noise model.
@@ -58,9 +128,95 @@ impl DensityMatrixSimulator {
         self
     }
 
+    /// Sets the superoperator-batching configuration (enabled by default;
+    /// see [`SuperopConfig`]). Disabling it keeps every channel on the
+    /// per-term Kraus path, which is the reference the property tests and
+    /// benchmarks compare against. Batching changes results only at the
+    /// level of floating-point rounding.
+    #[must_use]
+    pub fn with_superop(mut self, superop: SuperopConfig) -> Self {
+        self.superop = superop;
+        self
+    }
+
     /// The attached noise model.
     pub fn noise(&self) -> &NoiseModel {
         &self.noise
+    }
+
+    /// Compiles a circuit into its reusable density execution plan: the
+    /// shared fusion pass, then the superoperator compiler (channel sweeps
+    /// plus channel-adjacent unitary folding).
+    ///
+    /// # Errors
+    /// Returns an error for invalid instructions.
+    pub fn compile(&self, circuit: &Circuit) -> Result<CompiledDensityCircuit> {
+        let kernels = CircuitKernels::with_config(circuit, &self.noise, &self.fusion)?;
+        Ok(CompiledDensityCircuit {
+            kernels: DensityKernels::compile(&kernels, &self.superop)?,
+            noise: self.noise.clone(),
+        })
+    }
+
+    /// Runs a precompiled circuit from `|0...0⟩⟨0...0|`.
+    ///
+    /// # Errors
+    /// Returns an error for invalid dimensions.
+    pub fn run_compiled(&self, compiled: &CompiledDensityCircuit) -> Result<DensityMatrix> {
+        let rho0 =
+            DensityMatrix::zero(compiled.kernels.dims.clone()).map_err(CircuitError::Core)?;
+        self.run_compiled_from(compiled, &rho0)
+    }
+
+    /// Runs a precompiled circuit from an arbitrary initial density matrix.
+    ///
+    /// # Errors
+    /// Returns an error if the register differs, or if this simulator's noise
+    /// model differs from the one the plan was compiled against (channels are
+    /// baked into the plan, so a mismatch would silently mix two models).
+    pub fn run_compiled_from(
+        &self,
+        compiled: &CompiledDensityCircuit,
+        initial: &DensityMatrix,
+    ) -> Result<DensityMatrix> {
+        if compiled.noise != self.noise {
+            return Err(CircuitError::Unsupported(
+                "compiled circuit was built under a different noise model; recompile with \
+                 this simulator's model"
+                    .into(),
+            ));
+        }
+        if initial.radix().dims() != compiled.kernels.dims {
+            return Err(CircuitError::InvalidTargets(format!(
+                "initial state register {:?} does not match circuit register {:?}",
+                initial.radix().dims(),
+                compiled.kernels.dims
+            )));
+        }
+        let mut rho = initial.clone();
+        let mut scratch = Vec::new();
+        for step in &compiled.kernels.steps {
+            match step {
+                DensityStep::Unitary { plan, kind, op } => {
+                    rho.apply_unitary_prepared(plan, kind, op, &mut scratch)
+                        .map_err(CircuitError::Core)?;
+                }
+                DensityStep::Super { plan, kind, sup } => {
+                    rho.apply_superop_prepared(plan, kind, sup, &mut scratch)
+                        .map_err(CircuitError::Core)?;
+                }
+                DensityStep::Kraus(ch) => {
+                    rho.apply_kraus_prepared(
+                        &ch.plan,
+                        ch.channel.operators(),
+                        &ch.kinds,
+                        &mut scratch,
+                    )
+                    .map_err(CircuitError::Core)?;
+                }
+            }
+        }
+        Ok(rho)
     }
 
     /// Runs the circuit from `|0...0⟩⟨0...0|`.
@@ -84,60 +240,8 @@ impl DensityMatrixSimulator {
                 circuit.dims()
             )));
         }
-        let kernels = CircuitKernels::with_config(circuit, &self.noise, &self.fusion)?;
-        let mut rho = initial.clone();
-        let dims = circuit.dims().to_vec();
-        let mut scratch = Vec::new();
-        for step in &kernels.steps {
-            match step {
-                ExecStep::Apply { plan, kind, op, noise } => {
-                    rho.apply_unitary_prepared(plan, kind, op, &mut scratch)
-                        .map_err(CircuitError::Core)?;
-                    for ch in noise {
-                        rho.apply_kraus_prepared(
-                            &ch.plan,
-                            ch.channel.operators(),
-                            &ch.kinds,
-                            &mut scratch,
-                        )
-                        .map_err(CircuitError::Core)?;
-                    }
-                }
-                ExecStep::Measure { targets } => {
-                    // Non-selective measurement: full dephasing of the targets.
-                    for &t in targets {
-                        let deph = KrausChannel::dephasing(dims[t], 1.0)?;
-                        rho.apply_kraus(deph.operators(), &[t]).map_err(CircuitError::Core)?;
-                    }
-                }
-                ExecStep::Reset { target } => {
-                    let d = dims[*target];
-                    let reset = reset_channel(d);
-                    rho.apply_kraus(&reset, &[*target]).map_err(CircuitError::Core)?;
-                }
-                ExecStep::Channel(ch) => {
-                    rho.apply_kraus_prepared(
-                        &ch.plan,
-                        ch.channel.operators(),
-                        &ch.kinds,
-                        &mut scratch,
-                    )
-                    .map_err(CircuitError::Core)?;
-                }
-                ExecStep::Barrier => {
-                    for ch in &kernels.barrier_loss {
-                        rho.apply_kraus_prepared(
-                            &ch.plan,
-                            ch.channel.operators(),
-                            &ch.kinds,
-                            &mut scratch,
-                        )
-                        .map_err(CircuitError::Core)?;
-                    }
-                }
-            }
-        }
-        Ok(rho)
+        let compiled = self.compile(circuit)?;
+        self.run_compiled_from(&compiled, initial)
     }
 
     /// Expectation value of an observable after running the circuit.
@@ -182,21 +286,11 @@ impl DensityMatrixSimulator {
     }
 }
 
-/// Kraus operators of the reset-to-`|0⟩` channel: `K_i = |0⟩⟨i|`.
-fn reset_channel(d: usize) -> Vec<CMatrix> {
-    (0..d)
-        .map(|i| {
-            let mut k = CMatrix::zeros(d, d);
-            k[(0, i)] = c64(1.0, 0.0);
-            k
-        })
-        .collect()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::gate::Gate;
+    use crate::noise::KrausChannel;
     use qudit_core::metrics::trace_distance;
 
     #[test]

@@ -45,6 +45,29 @@ use crate::circuit::{Circuit, Instruction};
 use crate::error::{CircuitError, Result};
 
 /// Configuration of the gate-fusion pass (see the module docs).
+///
+/// # Example
+///
+/// ```
+/// use qudit_circuit::sim::{FusionConfig, StatevectorSimulator};
+/// use qudit_circuit::{Circuit, Gate};
+///
+/// // Three same-wire gates collapse into one fused superblock.
+/// let mut c = Circuit::uniform(1, 3);
+/// c.push(Gate::fourier(3), &[0]).unwrap();
+/// c.push(Gate::clock_z(3), &[0]).unwrap();
+/// c.push(Gate::shift_x(3), &[0]).unwrap();
+///
+/// let compiled = StatevectorSimulator::new().compile(&c).unwrap();
+/// assert_eq!(compiled.fusion_stats().unitary_steps_out, 1);
+///
+/// // Fusion off: every gate executes verbatim.
+/// let verbatim = StatevectorSimulator::new()
+///     .with_fusion(FusionConfig::disabled())
+///     .compile(&c)
+///     .unwrap();
+/// assert_eq!(verbatim.fusion_stats().unitary_steps_out, 3);
+/// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FusionConfig {
     /// Master switch; disabled means every instruction executes verbatim.
@@ -291,8 +314,10 @@ pub(crate) fn fuse(
 /// A direct stride-arithmetic construction rather than
 /// [`qudit_core::radix::embed_operator`]: the fusion pass runs once per
 /// compile but on every `(circuit, noise, config)` compilation, so one-shot
-/// `run()` calls must not pay per-entry digit decompositions here.
-fn embed_to(
+/// `run()` calls must not pay per-entry digit decompositions here. The
+/// density compiler reuses it to embed superoperators into union supports
+/// (there, "targets" are positions of the doubled `vec(ρ)` register).
+pub(crate) fn embed_to(
     to_targets: &[usize],
     to_dims: &[usize],
     from_targets: &[usize],

@@ -28,6 +28,8 @@ pub(crate) struct ChannelKernel {
     pub plan: ApplyPlan,
     /// Structure classification of each Kraus operator.
     pub kinds: Vec<OpKind>,
+    /// The qudits the channel acts on (in operator index order).
+    pub targets: Vec<usize>,
 }
 
 impl ChannelKernel {
@@ -38,7 +40,7 @@ impl ChannelKernel {
     ) -> Result<Self> {
         let plan = ApplyPlan::new(radix, &targets).map_err(CircuitError::Core)?;
         let kinds = channel.operators().iter().map(OpKind::classify).collect();
-        Ok(Self { channel, plan, kinds })
+        Ok(Self { channel, plan, kinds, targets })
     }
 }
 
@@ -48,8 +50,16 @@ impl ChannelKernel {
 #[derive(Debug, Clone)]
 pub(crate) enum ExecStep {
     /// Apply a (possibly fused) unitary operator, then the noise channels the
-    /// model inserts after it.
-    Apply { plan: ApplyPlan, kind: OpKind, op: CMatrix, noise: Vec<ChannelKernel> },
+    /// model inserts after it. `targets` is the operator's support (in
+    /// operator index order), kept for the density compiler's superoperator
+    /// folding pass.
+    Apply {
+        targets: Vec<usize>,
+        plan: ApplyPlan,
+        kind: OpKind,
+        op: CMatrix,
+        noise: Vec<ChannelKernel>,
+    },
     /// An explicit channel instruction.
     Channel(ChannelKernel),
     /// A computational-basis measurement.
@@ -120,7 +130,7 @@ impl CircuitKernels {
                 FusedInst::Block { targets, matrix } => {
                     let plan = ApplyPlan::new(radix, &targets).map_err(CircuitError::Core)?;
                     let kind = OpKind::classify(&matrix);
-                    ExecStep::Apply { plan, kind, op: matrix, noise: Vec::new() }
+                    ExecStep::Apply { targets, plan, kind, op: matrix, noise: Vec::new() }
                 }
                 FusedInst::Gate { index } => {
                     let Instruction::Unitary { gate, targets } = &circuit.instructions()[index]
@@ -135,7 +145,13 @@ impl CircuitKernels {
                         .into_iter()
                         .map(|(channel, qudit)| ChannelKernel::new(radix, channel, vec![qudit]))
                         .collect::<Result<Vec<_>>>()?;
-                    ExecStep::Apply { plan, kind, op: gate.matrix().clone(), noise: noise_channels }
+                    ExecStep::Apply {
+                        targets: targets.clone(),
+                        plan,
+                        kind,
+                        op: gate.matrix().clone(),
+                        noise: noise_channels,
+                    }
                 }
                 FusedInst::Passthrough { index } => match &circuit.instructions()[index] {
                     Instruction::Measure { targets } => {
@@ -163,4 +179,545 @@ pub(crate) struct RunScratch {
     pub block: Vec<Complex64>,
     /// Kraus branch probabilities.
     pub branch_probs: Vec<f64>,
+}
+
+// --------------------------------------------------------------------------
+// Density-side compilation: superoperator batching over vectorised ρ.
+// --------------------------------------------------------------------------
+
+use qudit_core::superop::SuperPlan;
+use qudit_core::Radix;
+
+use crate::sim::fusion::embed_to;
+
+/// Configuration of the density-matrix simulator's superoperator batching
+/// (see [`crate::sim::DensityMatrixSimulator::with_superop`]).
+///
+/// With batching enabled (the default), the density compiler turns every
+/// channel whose superoperator `Σ K ⊗ conj(K)` is profitable into a **single
+/// strided sweep** over the vectorised density matrix, and folds
+/// channel-adjacent unitary runs into the same sweep when that never
+/// increases apply cost. Disabled, every channel executes on the per-term
+/// Kraus path (`2m` sweeps plus `m` accumulations for an `m`-operator
+/// channel), which is the reference the property tests compare against.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SuperopConfig {
+    /// Master switch; disabled keeps all channels on the per-term path.
+    pub enabled: bool,
+    /// Maximum target-subspace dimension `k` a superoperator sweep may span
+    /// (the superoperator matrix is `k² × k²`; the default of 16 caps it at
+    /// `256 × 256` — a two-qudit `d = 4` channel, 1 MiB).
+    pub max_dim: usize,
+}
+
+impl Default for SuperopConfig {
+    fn default() -> Self {
+        Self { enabled: true, max_dim: 16 }
+    }
+}
+
+impl SuperopConfig {
+    /// A configuration with batching switched off (per-term execution).
+    pub fn disabled() -> Self {
+        Self { enabled: false, ..Self::default() }
+    }
+}
+
+/// What the density compiler did to an execution plan; exposed for
+/// benchmarks, tests and CI assertions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SuperopStats {
+    /// Superoperator sweeps in the compiled density plan.
+    pub super_steps: usize,
+    /// Sweeps that absorbed at least two constituent operations.
+    pub multi_op_supers: usize,
+    /// Constituent operations (unitaries, channels, measurement dephasing,
+    /// resets, idle-loss) absorbed into multi-op sweeps.
+    pub ops_folded: usize,
+    /// Standalone unitary (two-sided sandwich) steps.
+    pub unitary_steps: usize,
+    /// Channels kept on the per-term Kraus path.
+    pub kraus_steps: usize,
+    /// Largest target-subspace dimension among superoperator sweeps.
+    pub max_super_dim: usize,
+}
+
+/// One step of the compiled **density** execution plan. Measurements, resets
+/// and barrier losses from the shared [`ExecStep`] plan are compiled away
+/// into their channel forms, so the density run loop is just three arms.
+#[derive(Debug, Clone)]
+pub(crate) enum DensityStep {
+    /// A standalone deterministic map, applied as the two-sided sandwich
+    /// `ρ → U ρ U†` (cheaper than its superoperator for `k > 2`).
+    Unitary { plan: ApplyPlan, kind: OpKind, op: CMatrix },
+    /// One superoperator sweep over vectorised ρ: a whole channel — possibly
+    /// with folded adjacent unitaries and further channels — in one pass.
+    Super { plan: SuperPlan, kind: OpKind, sup: CMatrix },
+    /// Per-term Kraus fallback for channels whose superoperator would be
+    /// over budget or cost more than `2m` strided sweeps.
+    Kraus(ChannelKernel),
+}
+
+/// The compiled density execution plan (see [`DensityStep`]).
+#[derive(Debug, Clone)]
+pub(crate) struct DensityKernels {
+    pub dims: Vec<usize>,
+    pub steps: Vec<DensityStep>,
+    /// What the (shared) fusion pass did.
+    pub fusion_stats: FusionStats,
+    /// What the superoperator compiler did.
+    pub stats: SuperopStats,
+}
+
+/// Structure class of an operator or superoperator, used by the density
+/// compiler's cost model. The class of a product is predicted conservatively
+/// (`diag · diag` stays diagonal, monomial-like products stay monomial,
+/// anything else is dense); the emitted sweep is re-classified exactly with
+/// [`OpKind::classify`], so the prediction only influences merge decisions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Structure {
+    Diagonal,
+    Monomial,
+    Dense,
+}
+
+impl Structure {
+    fn of(kind: &OpKind) -> Self {
+        match kind {
+            OpKind::Diagonal(_) => Structure::Diagonal,
+            OpKind::Monomial { .. } => Structure::Monomial,
+            OpKind::Dense => Structure::Dense,
+        }
+    }
+
+    /// Structure of a product of two operators of these classes.
+    fn join(self, other: Structure) -> Structure {
+        use Structure::*;
+        match (self, other) {
+            (Diagonal, Diagonal) => Diagonal,
+            (Diagonal | Monomial, Diagonal | Monomial) => Monomial,
+            _ => Dense,
+        }
+    }
+
+    /// Approximate cost of one superoperator sweep on a subspace of
+    /// dimension `k`, in units of `N²` multiply-adds.
+    fn sweep_cost(self, k: usize) -> usize {
+        match self {
+            Structure::Diagonal => 1,
+            Structure::Monomial => 2,
+            Structure::Dense => k * k,
+        }
+    }
+}
+
+/// A constituent operation the density compiler folds over.
+enum DensityItem {
+    /// A deterministic map (gate, fused block, or single-operator channel).
+    Unitary { targets: Vec<usize>, plan: ApplyPlan, kind: OpKind, op: CMatrix },
+    /// A multi-operator channel; `sup` is its precomputed superoperator and
+    /// classification when the channel is superop-eligible.
+    Channel { kernel: ChannelKernel, sup: Option<(CMatrix, OpKind)> },
+}
+
+/// A single noiseless unitary held on the frontier: it closes as a sandwich
+/// step, and its superoperator `U ⊗ conj(U)` is only built if a later item
+/// actually merges with it (noiseless circuits never pay the Kronecker).
+struct PendingUnitary {
+    plan: ApplyPlan,
+    kind: OpKind,
+    op: CMatrix,
+    /// Original (possibly unsorted) target order the operator is indexed in.
+    targets: Vec<usize>,
+}
+
+/// An open (still-growing) superoperator block on the density compiler's
+/// frontier. Like fusion's open blocks, live blocks have pairwise disjoint
+/// supports, so they commute and closing order is irrelevant.
+struct OpenSuper {
+    /// Ascending union support.
+    targets: Vec<usize>,
+    sub_dim: usize,
+    /// Superoperator over the support (`sub_dim² × sub_dim²`), composed in
+    /// program order; `None` iff the block holds a single [`PendingUnitary`]
+    /// (derivable on demand at merge time).
+    sup: Option<CMatrix>,
+    class: Structure,
+    /// Sum of the constituents' standalone sweep costs (the cost of *not*
+    /// folding), used by the merge rule.
+    cost: usize,
+    ops: usize,
+    /// Set iff the block holds exactly one noiseless unitary; such a block
+    /// closes as a sandwich step instead of a superoperator sweep.
+    unitary: Option<PendingUnitary>,
+}
+
+impl DensityKernels {
+    /// Compiles the shared execution plan into the density-specific plan:
+    /// channels become superoperator sweeps where profitable, and adjacent
+    /// operations merge under the cost rule below.
+    ///
+    /// ## Cost rule
+    ///
+    /// Each constituent has a standalone cost in units of `N²` multiply-adds:
+    /// `2k` for a dense unitary sandwich (2 / 4 for diagonal / monomial) and
+    /// `k²` for a dense superoperator sweep (1 / 2 for diagonal / monomial).
+    /// A merge into a union of subspace dimension `k_U` is accepted only when
+    /// the predicted union sweep cost does not exceed the sum of the
+    /// constituents' standalone costs and `k_U` stays within
+    /// [`SuperopConfig::max_dim`] — folding therefore **never increases**
+    /// apply cost. A dense two-qudit unitary does *not* absorb its per-qudit
+    /// noise channels (`k_U² = 256 > 2k + 2k²`), but a single-qudit gate
+    /// folds with its channel, runs of same-support channels collapse to one
+    /// sweep, and a two-qudit channel absorbs the two-qudit gate it follows.
+    pub(crate) fn compile(kernels: &CircuitKernels, config: &SuperopConfig) -> Result<Self> {
+        let radix = Radix::new(kernels.dims.clone()).map_err(CircuitError::Core)?;
+        let items = collect_density_items(kernels, config, &radix)?;
+
+        let mut stats = SuperopStats::default();
+        let mut steps = Vec::with_capacity(items.len());
+
+        if !config.enabled {
+            for item in items {
+                match item {
+                    DensityItem::Unitary { plan, kind, op, .. } => {
+                        stats.unitary_steps += 1;
+                        steps.push(DensityStep::Unitary { plan, kind, op });
+                    }
+                    DensityItem::Channel { kernel, .. } => {
+                        stats.kraus_steps += 1;
+                        steps.push(DensityStep::Kraus(kernel));
+                    }
+                }
+            }
+            return Ok(Self {
+                dims: kernels.dims.clone(),
+                steps,
+                fusion_stats: kernels.stats,
+                stats,
+            });
+        }
+
+        let mut open: Vec<Option<OpenSuper>> = Vec::new();
+        let mut wire: Vec<Option<usize>> = vec![None; kernels.dims.len()];
+
+        let close = |open: &mut Vec<Option<OpenSuper>>,
+                     wire: &mut Vec<Option<usize>>,
+                     steps: &mut Vec<DensityStep>,
+                     stats: &mut SuperopStats,
+                     slot: usize|
+         -> Result<()> {
+            let block = open[slot].take().expect("closing a live block");
+            for &t in &block.targets {
+                wire[t] = None;
+            }
+            if let Some(PendingUnitary { plan, kind, op, .. }) = block.unitary {
+                stats.unitary_steps += 1;
+                steps.push(DensityStep::Unitary { plan, kind, op });
+            } else {
+                let sup = block.sup.expect("non-unitary blocks carry their superoperator");
+                let plan = SuperPlan::new(&radix, &block.targets).map_err(CircuitError::Core)?;
+                let kind = OpKind::classify(&sup);
+                stats.super_steps += 1;
+                stats.max_super_dim = stats.max_super_dim.max(block.sub_dim);
+                if block.ops >= 2 {
+                    stats.multi_op_supers += 1;
+                    stats.ops_folded += block.ops;
+                }
+                steps.push(DensityStep::Super { plan, kind, sup });
+            }
+            Ok(())
+        };
+        // Closes every open block whose support intersects `targets`; the
+        // remaining blocks commute with the emitted step (disjoint supports).
+        let flush_touching = |open: &mut Vec<Option<OpenSuper>>,
+                              wire: &mut Vec<Option<usize>>,
+                              steps: &mut Vec<DensityStep>,
+                              stats: &mut SuperopStats,
+                              targets: &[usize]|
+         -> Result<()> {
+            let mut slots: Vec<usize> = targets.iter().filter_map(|&t| wire[t]).collect();
+            slots.sort_unstable();
+            slots.dedup();
+            for slot in slots {
+                close(open, wire, steps, stats, slot)?;
+            }
+            Ok(())
+        };
+
+        for item in items {
+            // Standalone form of the item: its superoperator (channels carry
+            // it; unitaries defer it to merge time), class, cost, and
+            // sandwich fallback.
+            let (targets, item_sup, item_class, item_cost, sandwich) = match item {
+                DensityItem::Unitary { targets, plan, kind, op } => {
+                    let k = plan.sub_dim();
+                    let class = Structure::of(&kind);
+                    let cost = match class {
+                        Structure::Diagonal => 2,
+                        Structure::Monomial => 4,
+                        Structure::Dense => 2 * k,
+                    };
+                    if k > config.max_dim {
+                        // Too large to ever join a superoperator; emit the
+                        // sandwich directly (ordering: flush overlaps first).
+                        flush_touching(&mut open, &mut wire, &mut steps, &mut stats, &targets)?;
+                        stats.unitary_steps += 1;
+                        steps.push(DensityStep::Unitary { plan, kind, op });
+                        continue;
+                    }
+                    (
+                        targets.clone(),
+                        None,
+                        class,
+                        cost,
+                        Some(PendingUnitary { plan, kind, op, targets }),
+                    )
+                }
+                DensityItem::Channel { kernel, sup } => {
+                    let Some((sup, sup_kind)) = sup else {
+                        // Over budget or unprofitable: per-term path.
+                        flush_touching(
+                            &mut open,
+                            &mut wire,
+                            &mut steps,
+                            &mut stats,
+                            &kernel.targets,
+                        )?;
+                        stats.kraus_steps += 1;
+                        steps.push(DensityStep::Kraus(kernel));
+                        continue;
+                    };
+                    let class = Structure::of(&sup_kind);
+                    let cost = class.sweep_cost(kernel.plan.sub_dim());
+                    (kernel.targets.clone(), Some(sup), class, cost, None)
+                }
+            };
+
+            // Greedy merge against the touched open blocks, in creation
+            // order, under the cost rule and budget (see the method docs).
+            let mut slots: Vec<usize> = targets.iter().filter_map(|&t| wire[t]).collect();
+            slots.sort_unstable();
+            slots.dedup();
+
+            let mut union: Vec<usize> = targets.clone();
+            union.sort_unstable();
+            let mut union_dim = radix.subspace_dim(&union).map_err(CircuitError::Core)?;
+            let mut parts_cost = item_cost;
+            let mut class = item_class;
+            let mut accepted = Vec::new();
+            for &s in &slots {
+                let block = open[s].as_ref().expect("live slot");
+                let mut tentative = union.clone();
+                tentative.extend(block.targets.iter().copied());
+                tentative.sort_unstable();
+                tentative.dedup();
+                let t_dim = radix.subspace_dim(&tentative).map_err(CircuitError::Core)?;
+                let t_class = class.join(block.class);
+                if t_dim <= config.max_dim && t_class.sweep_cost(t_dim) <= parts_cost + block.cost {
+                    accepted.push(s);
+                    union = tentative;
+                    union_dim = t_dim;
+                    parts_cost += block.cost;
+                    class = t_class;
+                }
+            }
+            for &s in &slots {
+                if !accepted.contains(&s) {
+                    close(&mut open, &mut wire, &mut steps, &mut stats, s)?;
+                }
+            }
+
+            let n = radix.len();
+            let doubled = |ts: &[usize]| -> Vec<usize> {
+                let mut d = Vec::with_capacity(2 * ts.len());
+                d.extend_from_slice(ts);
+                d.extend(ts.iter().map(|&t| t + n));
+                d
+            };
+            let union_doubled = doubled(&union);
+            let union_doubled_dims: Vec<usize> = {
+                let dims: Vec<usize> = union.iter().map(|&t| kernels.dims[t]).collect();
+                dims.iter().chain(dims.iter()).copied().collect()
+            };
+
+            let (sup, ops, unitary) = if accepted.is_empty() {
+                match sandwich {
+                    // A lone unitary defers its superoperator: if nothing
+                    // ever merges, the block closes as a plain sandwich and
+                    // the Kronecker is never built.
+                    Some(pending) => (None, 1, Some(pending)),
+                    None => {
+                        let item_sup = item_sup.expect("channel items carry their superoperator");
+                        let sup = if union == targets {
+                            item_sup
+                        } else {
+                            // Canonicalise unsorted targets to the ascending
+                            // union.
+                            embed_to(
+                                &union_doubled,
+                                &union_doubled_dims,
+                                &doubled(&targets),
+                                &item_sup,
+                            )?
+                        };
+                        (Some(sup), 1, None)
+                    }
+                }
+            } else {
+                // Accepted blocks are pairwise disjoint and all precede the
+                // item in program order, so their product order is free and
+                // the item multiplies last.
+                let mut acc: Option<CMatrix> = None;
+                let mut ops = 1usize;
+                for &s in &accepted {
+                    let block = open[s].take().expect("live slot");
+                    for &t in &block.targets {
+                        wire[t] = None;
+                    }
+                    ops += block.ops;
+                    // Deferred unitary blocks build their superoperator now,
+                    // in the operator's original target order.
+                    let (block_sup, block_from) = match (block.sup, block.unitary) {
+                        (Some(sup), _) => (sup, block.targets),
+                        (None, Some(pending)) => {
+                            (SuperPlan::unitary_superop(&pending.op), pending.targets)
+                        }
+                        (None, None) => {
+                            unreachable!("blocks without a superoperator hold a unitary")
+                        }
+                    };
+                    let embedded = embed_to(
+                        &union_doubled,
+                        &union_doubled_dims,
+                        &doubled(&block_from),
+                        &block_sup,
+                    )?;
+                    acc = Some(match acc {
+                        Some(prev) => embedded.matmul(&prev).map_err(CircuitError::Core)?,
+                        None => embedded,
+                    });
+                }
+                let item_sup = match item_sup {
+                    Some(sup) => sup,
+                    None => SuperPlan::unitary_superop(
+                        &sandwich.as_ref().expect("unitary items carry their sandwich").op,
+                    ),
+                };
+                let item_embedded =
+                    embed_to(&union_doubled, &union_doubled_dims, &doubled(&targets), &item_sup)?;
+                let sup = item_embedded
+                    .matmul(&acc.expect("at least one block merged"))
+                    .map_err(CircuitError::Core)?;
+                (Some(sup), ops, None)
+            };
+
+            let slot = open.len();
+            for &t in &union {
+                wire[t] = Some(slot);
+            }
+            open.push(Some(OpenSuper {
+                targets: union,
+                sub_dim: union_dim,
+                sup,
+                class,
+                cost: parts_cost,
+                ops,
+                unitary,
+            }));
+        }
+
+        for slot in 0..open.len() {
+            if open[slot].is_some() {
+                close(&mut open, &mut wire, &mut steps, &mut stats, slot)?;
+            }
+        }
+        Ok(Self { dims: kernels.dims.clone(), steps, fusion_stats: kernels.stats, stats })
+    }
+}
+
+/// Linearises the shared plan into the density compiler's constituent items:
+/// gate noise inlined after its gate, measurements as full target dephasing,
+/// resets as the `|0⟩⟨i|` channel, barriers as their idle-loss channels.
+/// Single-operator channels become unitary items (a one-term Kraus sum *is*
+/// a sandwich), and each multi-operator channel precomputes its
+/// superoperator when within budget and profitable (dense superoperator
+/// sweeps cost `k²`; the per-term path costs `≈ 2mk + 2m`, so a dense
+/// superoperator must satisfy `k² ≤ 2mk + 2m`).
+fn collect_density_items(
+    kernels: &CircuitKernels,
+    config: &SuperopConfig,
+    radix: &Radix,
+) -> Result<Vec<DensityItem>> {
+    let mut items = Vec::with_capacity(kernels.steps.len());
+    let push_channel = |items: &mut Vec<DensityItem>, kernel: ChannelKernel| -> Result<()> {
+        if kernel.channel.operators().len() == 1 {
+            items.push(DensityItem::Unitary {
+                targets: kernel.targets.clone(),
+                plan: kernel.plan.clone(),
+                kind: kernel.kinds[0].clone(),
+                op: kernel.channel.operators()[0].clone(),
+            });
+            return Ok(());
+        }
+        let k = kernel.plan.sub_dim();
+        let sup = if config.enabled && k <= config.max_dim {
+            let sup =
+                SuperPlan::kraus_superop(kernel.channel.operators()).map_err(CircuitError::Core)?;
+            let kind = OpKind::classify(&sup);
+            let m = kernel.channel.operators().len();
+            let profitable = !matches!(kind, OpKind::Dense) || k * k <= 2 * m * k + 2 * m;
+            profitable.then_some((sup, kind))
+        } else {
+            None
+        };
+        items.push(DensityItem::Channel { kernel, sup });
+        Ok(())
+    };
+
+    for step in &kernels.steps {
+        match step {
+            ExecStep::Apply { targets, plan, kind, op, noise } => {
+                items.push(DensityItem::Unitary {
+                    targets: targets.clone(),
+                    plan: plan.clone(),
+                    kind: kind.clone(),
+                    op: op.clone(),
+                });
+                for ch in noise {
+                    push_channel(&mut items, ch.clone())?;
+                }
+            }
+            ExecStep::Channel(ch) => push_channel(&mut items, ch.clone())?,
+            ExecStep::Measure { targets } => {
+                // Non-selective measurement: full dephasing of each target.
+                for &t in targets {
+                    let deph = KrausChannel::dephasing(kernels.dims[t], 1.0)?;
+                    push_channel(&mut items, ChannelKernel::new(radix, deph, vec![t])?)?;
+                }
+            }
+            ExecStep::Reset { target } => {
+                let d = kernels.dims[*target];
+                let reset = KrausChannel::new("reset", vec![d], reset_channel(d))?;
+                push_channel(&mut items, ChannelKernel::new(radix, reset, vec![*target])?)?;
+            }
+            ExecStep::Barrier => {
+                for ch in &kernels.barrier_loss {
+                    push_channel(&mut items, ch.clone())?;
+                }
+            }
+        }
+    }
+    Ok(items)
+}
+
+/// Kraus operators of the reset-to-`|0⟩` channel: `K_i = |0⟩⟨i|`.
+pub(crate) fn reset_channel(d: usize) -> Vec<CMatrix> {
+    (0..d)
+        .map(|i| {
+            let mut k = CMatrix::zeros(d, d);
+            k[(0, i)] = qudit_core::complex::c64(1.0, 0.0);
+            k
+        })
+        .collect()
 }

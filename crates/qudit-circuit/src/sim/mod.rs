@@ -17,6 +17,14 @@
 //! per-step stride plans, operator classifications and noise channels are
 //! precomputed once and reused across shots and trajectories. Use
 //! [`StatevectorSimulator::compile`] to hold on to the plan across calls.
+//!
+//! The density-matrix back-end re-compiles the shared plan one step further:
+//! every channel whose superoperator `Σ K ⊗ conj(K)` is profitable executes
+//! as a single strided sweep over vectorised ρ (see [`qudit_core::superop`]),
+//! and channel-adjacent unitary runs fold into the same sweep under a
+//! fusion-style cost rule (configurable via [`SuperopConfig`], on by
+//! default). [`DensityMatrixSimulator::compile`] exposes the compiled
+//! density plan and its [`SuperopStats`].
 
 pub mod fusion;
 
@@ -25,8 +33,9 @@ mod kernels;
 mod statevector;
 mod trajectory;
 
-pub use density::DensityMatrixSimulator;
+pub use density::{CompiledDensityCircuit, DensityMatrixSimulator};
 pub use fusion::{FusionConfig, FusionStats};
+pub use kernels::{SuperopConfig, SuperopStats};
 pub use statevector::{CompiledCircuit, RunOutput, StatevectorSimulator};
 pub use trajectory::TrajectorySimulator;
 

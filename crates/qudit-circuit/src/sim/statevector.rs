@@ -64,6 +64,27 @@ impl CompiledCircuit {
 /// Deterministic circuits evolve exactly; measurements, resets and explicit
 /// noise channels are handled stochastically using the simulator's seeded
 /// random number generator, making every run reproducible.
+///
+/// # Example
+///
+/// ```
+/// use qudit_circuit::sim::StatevectorSimulator;
+/// use qudit_circuit::{Circuit, Gate};
+///
+/// // Maximally correlated two-qutrit state: F on qudit 0, then CSUM.
+/// let mut c = Circuit::uniform(2, 3);
+/// c.push(Gate::fourier(3), &[0]).unwrap();
+/// c.push(Gate::csum(3, 3), &[0, 1]).unwrap();
+///
+/// let sim = StatevectorSimulator::with_seed(7);
+/// let state = sim.run(&c).unwrap();
+/// assert!((state.probabilities()[0] - 1.0 / 3.0).abs() < 1e-12);
+///
+/// // Compile once and reuse the fused execution plan across runs.
+/// let compiled = sim.compile(&c).unwrap();
+/// let again = sim.run_compiled(&compiled).unwrap();
+/// assert!((again.state.inner(&state).unwrap().abs() - 1.0).abs() < 1e-12);
+/// ```
 #[derive(Debug, Clone)]
 pub struct StatevectorSimulator {
     seed: u64,
@@ -236,7 +257,7 @@ impl StatevectorSimulator {
 
         for step in &kernels.steps {
             match step {
-                ExecStep::Apply { plan, kind, op, noise } => {
+                ExecStep::Apply { plan, kind, op, noise, .. } => {
                     state
                         .apply_prepared(plan, kind, op, &mut scratch.block)
                         .map_err(CircuitError::Core)?;

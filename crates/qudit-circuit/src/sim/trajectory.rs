@@ -30,6 +30,24 @@ use crate::sim::kernels::CircuitKernels;
 use crate::sim::statevector::StatevectorSimulator;
 
 /// A Monte-Carlo trajectory simulator.
+///
+/// # Example
+///
+/// ```
+/// use qudit_circuit::noise::NoiseModel;
+/// use qudit_circuit::sim::TrajectorySimulator;
+/// use qudit_circuit::{Circuit, Gate, Observable};
+///
+/// let mut c = Circuit::uniform(1, 4);
+/// c.push(Gate::shift_x(4), &[0]).unwrap(); // |0⟩ → |1⟩
+///
+/// let sim = TrajectorySimulator::new(200)
+///     .with_seed(3)
+///     .with_noise(NoiseModel::cavity(0.2, 0.2, 0.0));
+/// let est = sim.expectation(&c, &Observable::number(0, 4)).unwrap();
+/// // One photon, 20% loss per gate: ⟨n⟩ ≈ 0.8, within Monte-Carlo error.
+/// assert!((est.mean - 0.8).abs() < 5.0 * est.std_error.max(0.02));
+/// ```
 #[derive(Debug, Clone)]
 pub struct TrajectorySimulator {
     n_trajectories: usize,

@@ -1,6 +1,6 @@
 //! Numerical synthesis of single-mode unitaries into alternating
-//! displacement / SNAP blocks (the protocol of Refs. [7], [20], [24] in the
-//! paper).
+//! displacement / SNAP blocks (the protocol of Refs. \[7\], \[20\], \[24\]
+//! in the paper).
 //!
 //! The ansatz is
 //! `U(θ) = D(α_L) · SNAP(φ_L) · D(α_{L-1}) ⋯ SNAP(φ_1) · D(α_0)`,

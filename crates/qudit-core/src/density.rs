@@ -11,6 +11,7 @@ use crate::matrix::CMatrix;
 use crate::radix::Radix;
 use crate::sampling::Cdf;
 use crate::state::QuditState;
+use crate::superop::SuperPlan;
 
 /// A density matrix over a mixed-radix qudit register.
 ///
@@ -263,6 +264,46 @@ impl DensityMatrix {
         }
         self.matrix = acc;
         Ok(())
+    }
+
+    /// Applies a Kraus channel as a **single superoperator sweep** over the
+    /// vectorised density matrix instead of materialising each term (see
+    /// [`crate::superop`]): builds `S = Σ_k K_k ⊗ conj(K_k)` and runs it
+    /// through the doubled-register stride plan. Equal to
+    /// [`DensityMatrix::apply_kraus`] to rounding.
+    ///
+    /// # Errors
+    /// Returns an error for invalid targets, operator dimensions or an empty
+    /// Kraus list.
+    pub fn apply_channel_superop(&mut self, kraus: &[CMatrix], targets: &[usize]) -> Result<()> {
+        let plan = SuperPlan::new(&self.radix, targets)?;
+        let sup = SuperPlan::kraus_superop(kraus)?;
+        if sup.rows() != plan.sub_dim() * plan.sub_dim() {
+            return Err(CoreError::ShapeMismatch {
+                expected: format!("{0}x{0} Kraus operators", plan.sub_dim()),
+                found: format!("superoperator of dimension {}", sup.rows()),
+            });
+        }
+        let kind = OpKind::classify(&sup);
+        let mut scratch = Vec::new();
+        self.apply_superop_prepared(&plan, &kind, &sup, &mut scratch)
+    }
+
+    /// [`DensityMatrix::apply_channel_superop`] through a precomputed
+    /// [`SuperPlan`], superoperator matrix and [`OpKind`] — the plan-reuse
+    /// path for the circuit simulators. `scratch` is caller-owned working
+    /// memory.
+    ///
+    /// # Errors
+    /// Returns an error if the plan or superoperator dimensions do not match.
+    pub fn apply_superop_prepared(
+        &mut self,
+        plan: &SuperPlan,
+        kind: &OpKind,
+        sup: &CMatrix,
+        scratch: &mut Vec<Complex64>,
+    ) -> Result<()> {
+        plan.apply(kind, sup, self.matrix.as_mut_slice(), scratch)
     }
 
     /// `m → K m K†` through a precomputed plan, running the strided kernels

@@ -11,7 +11,7 @@
 //! dimensions that near-term qudit processors — and therefore this
 //! workspace's simulators — actually reach.
 //!
-//! ## Hot-path architecture (PR 1, extended in PR 2)
+//! ## Hot-path architecture (PR 1, extended in PRs 2–3)
 //!
 //! Every simulation kernel routes through two building blocks:
 //!
@@ -36,6 +36,14 @@
 //!   results bitwise identical to the serial order, at any thread count,
 //!   without per-call thread spawn/join overhead. `QUDIT_NUM_THREADS`
 //!   overrides the default worker count.
+//!
+//! On the density-matrix side, [`superop::SuperPlan`] lifts the same stride
+//! machinery to vectorised ρ: row-major ρ is read as the state of a
+//! *doubled* register, a channel on targets `T` becomes an operator on the
+//! `2k` doubled targets, and the whole Kraus sum applies as **one** sweep of
+//! the superoperator `Σ K ⊗ conj(K)` — with the diagonal/monomial fast
+//! paths inherited from [`apply::OpKind`] classification of the
+//! superoperator itself.
 //!
 //! Repeated shot sampling goes through [`sampling::Cdf`], a cumulative
 //! distribution with O(log dim) binary-search draws. In-place integrator
@@ -83,6 +91,7 @@ pub mod radix;
 pub mod random;
 pub mod sampling;
 pub mod state;
+pub mod superop;
 
 pub use apply::{ApplyPlan, OpKind};
 pub use complex::{c64, Complex64};
@@ -92,6 +101,7 @@ pub use matrix::CMatrix;
 pub use radix::Radix;
 pub use sampling::Cdf;
 pub use state::QuditState;
+pub use superop::SuperPlan;
 
 /// Commonly used items, for glob import.
 pub mod prelude {
@@ -107,4 +117,5 @@ pub mod prelude {
     pub use crate::radix::{embed_operator, Radix};
     pub use crate::random::{haar_state, haar_unitary};
     pub use crate::state::QuditState;
+    pub use crate::superop::SuperPlan;
 }
