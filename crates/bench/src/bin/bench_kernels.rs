@@ -1,21 +1,22 @@
-//! Kernel benchmark harness for PR 3: times the superoperator-batched
-//! density-matrix channel path on top of the PR-2 rows (fused-execution
-//! pipeline, persistent worker pool, in-place Lindblad RK4), prints a summary
-//! table and writes the numbers to `BENCH_3.json`.
+//! Kernel benchmark harness for PR 4: times wire-local fusion flushing on
+//! the syndrome-extraction workload on top of the PR-1/2/3 rows, prints a
+//! summary table and writes the numbers to `BENCH_4.json`.
 //!
-//! The PR-1/PR-2 rows (trajectory expectation, deterministic sampling, raw
-//! sampler, measure/collapse, statevector fusion, Lindblad, `par_map`
-//! overhead) are re-measured unchanged so regressions against earlier BENCH
-//! files are visible; `statevector_run` keeps its anchor to BENCH_1's frozen
-//! optimized time. The new rows isolate what PR 3 adds:
+//! The earlier rows (trajectory expectation, deterministic sampling, raw
+//! sampler, measure/collapse, statevector fusion, Lindblad, density
+//! superoperator batching, `par_map` overhead) are re-measured unchanged so
+//! regressions against earlier BENCH files are visible; `statevector_run`
+//! keeps its anchor to BENCH_1's frozen optimized time. The new rows isolate
+//! what PR 4 adds, on [`bench::syndrome_extraction_circuit`] (mid-circuit
+//! ancilla measure + reset every round — the shape on which the old global
+//! flush rule erased all fusion progress):
 //!
-//! * `density_run_noisy` — the noisy density-matrix channel workload through
-//!   the superoperator compiler (batching ON, precompiled plan) vs the PR-2
-//!   per-term Kraus path (batching OFF, per-call compile — exactly PR-2's
-//!   `run()` measurement method).
-//! * `density_run_noisy_percall` — batching ON through plain `run()`
-//!   (superoperator compile inside the timed region), isolating plan-reuse
-//!   from the batched sweeps proper.
+//! * `syndrome_extraction_unfused` — fusion off, precompiled (the floor).
+//! * `syndrome_extraction_full_flush` — fusion on with the PR-2
+//!   [`FlushPolicy::Global`] barrier rule, vs the unfused floor.
+//! * `syndrome_extraction_wire_local` — the default wire-local rule, **vs
+//!   the full-flush row** (its `speedup` field is the wire-local-over-
+//!   global-flush ratio CI asserts ≥ 1.2×).
 //!
 //! Run with `cargo run --release -p bench --bin bench_kernels`.
 
@@ -25,10 +26,11 @@ use std::time::Instant;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use bench::{baseline, print_table, small_sqed_circuit};
+use bench::{baseline, print_table, small_sqed_circuit, syndrome_extraction_circuit};
 use qudit_circuit::noise::NoiseModel;
 use qudit_circuit::sim::{
-    DensityMatrixSimulator, FusionConfig, StatevectorSimulator, SuperopConfig, TrajectorySimulator,
+    DensityMatrixSimulator, FlushPolicy, FusionConfig, StatevectorSimulator, SuperopConfig,
+    TrajectorySimulator,
 };
 use qudit_circuit::Observable;
 use qudit_core::density::DensityMatrix;
@@ -223,6 +225,86 @@ fn main() {
         optimized_s: pr1_percall_s,
     });
 
+    // --- Syndrome extraction: wire-local vs full-flush vs unfused. -------
+    // Repeated ancilla measure+reset rounds interleaved with stabilizer-style
+    // entangling layers on a mixed-radix register (dim 1152). The old global
+    // flush rule closes every open fusion block at each of the 9 readouts;
+    // the wire-local rule keeps the two off-round data pairs fusing straight
+    // through them.
+    let syn_rounds = 9;
+    let syn_circuit = syndrome_extraction_circuit(syn_rounds);
+    let sv_wire_local = StatevectorSimulator::with_seed(23);
+    let sv_full_flush = StatevectorSimulator::with_seed(23)
+        .with_fusion(FusionConfig { flush: FlushPolicy::Global, ..FusionConfig::default() });
+    let sv_syn_unfused = StatevectorSimulator::with_seed(23).with_fusion(FusionConfig::disabled());
+    let syn_wl = sv_wire_local.compile(&syn_circuit).unwrap();
+    let syn_ff = sv_full_flush.compile(&syn_circuit).unwrap();
+    let syn_un = sv_syn_unfused.compile(&syn_circuit).unwrap();
+    let syn_wl_stats = syn_wl.fusion_stats();
+    let syn_ff_stats = syn_ff.fusion_stats();
+    assert!(
+        syn_wl_stats.barrier_crossings > 0,
+        "blocks must survive mid-circuit readouts under wire-local flushing: {syn_wl_stats:?}"
+    );
+    assert!(
+        syn_wl_stats.unitary_steps_out < syn_ff_stats.unitary_steps_out,
+        "wire-local must emit fewer fused apply steps than full flush: \
+         {syn_wl_stats:?} vs {syn_ff_stats:?}"
+    );
+    // RNG-stream alignment cross-check: all three policies observe identical
+    // readout records and land on the same state.
+    {
+        let a = sv_wire_local.run_compiled(&syn_wl).unwrap();
+        let b = sv_full_flush.run_compiled(&syn_ff).unwrap();
+        let c = sv_syn_unfused.run_compiled(&syn_un).unwrap();
+        assert_eq!(a.measurements, b.measurements, "wire-local vs full-flush readouts");
+        assert_eq!(a.measurements, c.measurements, "wire-local vs unfused readouts");
+        let overlap = a.state.inner(&c.state).unwrap().abs();
+        assert!((overlap - 1.0).abs() < 1e-9, "syndrome policy overlap {overlap}");
+    }
+    let syn_unfused_s = time_best(10, || {
+        std::hint::black_box(sv_syn_unfused.run_compiled(&syn_un).unwrap());
+    });
+    let syn_ff_s = time_best(10, || {
+        std::hint::black_box(sv_full_flush.run_compiled(&syn_ff).unwrap());
+    });
+    let syn_wl_s = time_best(10, || {
+        std::hint::black_box(sv_wire_local.run_compiled(&syn_wl).unwrap());
+    });
+    entries.push(Entry {
+        name: "syndrome_extraction_unfused".into(),
+        detail: format!(
+            "{syn_rounds} ancilla measure+reset rounds, 3 data pairs, dim {}; fusion OFF, \
+             precompiled ({} unitary steps)",
+            syn_circuit.total_dim(),
+            syn_un.fusion_stats().unitary_steps_out
+        ),
+        baseline_s: None,
+        optimized_s: syn_unfused_s,
+    });
+    entries.push(Entry {
+        name: "syndrome_extraction_full_flush".into(),
+        detail: format!(
+            "same workload; fusion ON with the PR-2 global flush rule ({} -> {} apply steps, \
+             0 barrier crossings) vs unfused",
+            syn_ff_stats.unitaries_in, syn_ff_stats.unitary_steps_out
+        ),
+        baseline_s: Some(syn_unfused_s),
+        optimized_s: syn_ff_s,
+    });
+    entries.push(Entry {
+        name: "syndrome_extraction_wire_local".into(),
+        detail: format!(
+            "same workload; wire-local flushing ({} -> {} apply steps, {} barrier crossings) \
+             vs the full-flush row — speedup is wire-local over full-flush",
+            syn_wl_stats.unitaries_in,
+            syn_wl_stats.unitary_steps_out,
+            syn_wl_stats.barrier_crossings
+        ),
+        baseline_s: Some(syn_ff_s),
+        optimized_s: syn_wl_s,
+    });
+
     // --- Measurement kernel on an entangled state. -----------------------
     let ghz = {
         let mut c = qudit_circuit::Circuit::uniform(4, 3);
@@ -408,19 +490,29 @@ fn main() {
         })
         .collect();
     print_table(
-        "PR 3 kernel benchmarks (best-of-N wall clock)",
+        "PR 4 kernel benchmarks (best-of-N wall clock)",
         &["kernel", "baseline ms", "optimized ms", "speedup"],
         &rows,
     );
 
-    // --- BENCH_3.json (hand-rolled: no JSON dependency offline). ---------
-    let mut json = String::from("{\n  \"bench\": 3,\n");
+    // --- BENCH_4.json (hand-rolled: no JSON dependency offline). ---------
+    let mut json = String::from("{\n  \"bench\": 4,\n");
     json.push_str(&format!(
         "  \"workload\": {{\"circuit\": \"small_sqed_circuit\", \"sites\": {sites}, \"link_dim\": {d}, \"trotter_steps\": {steps}, \"dim\": {dim}}},\n"
     ));
     json.push_str(&format!(
         "  \"fusion\": {{\"unitaries_in\": {}, \"unitary_steps_out\": {}, \"multi_gate_blocks\": {}, \"max_block_dim\": {}}},\n",
         stats.unitaries_in, stats.unitary_steps_out, stats.multi_gate_blocks, stats.max_block_dim
+    ));
+    json.push_str(&format!(
+        "  \"syndrome_fusion\": {{\"rounds\": {syn_rounds}, \"dim\": {}, \"unitaries_in\": {}, \"wire_local_unitary_steps\": {}, \"full_flush_unitary_steps\": {}, \"unfused_unitary_steps\": {}, \"barrier_crossings\": {}, \"multi_gate_blocks\": {}}},\n",
+        syn_circuit.total_dim(),
+        syn_wl_stats.unitaries_in,
+        syn_wl_stats.unitary_steps_out,
+        syn_ff_stats.unitary_steps_out,
+        syn_un.fusion_stats().unitary_steps_out,
+        syn_wl_stats.barrier_crossings,
+        syn_wl_stats.multi_gate_blocks
     ));
     json.push_str(&format!(
         "  \"superop\": {{\"super_steps\": {}, \"multi_op_supers\": {}, \"ops_folded\": {}, \"unitary_steps\": {}, \"kraus_steps\": {}, \"max_super_dim\": {}}},\n",
@@ -446,6 +538,6 @@ fn main() {
         ));
     }
     json.push_str("  ]\n}\n");
-    std::fs::write("BENCH_3.json", &json).expect("write BENCH_3.json");
-    println!("\nwrote BENCH_3.json");
+    std::fs::write("BENCH_4.json", &json).expect("write BENCH_4.json");
+    println!("\nwrote BENCH_4.json");
 }

@@ -1,6 +1,6 @@
 //! Shared workload builders for the experiment harness and Criterion
-//! benchmarks: the three Table-I application circuits and common reporting
-//! helpers.
+//! benchmarks: the three Table-I application circuits, the
+//! syndrome-extraction readout workload, and common reporting helpers.
 
 pub mod baseline;
 
@@ -8,7 +8,9 @@ use lgt::hamiltonian::{sqed_chain, SqedParams};
 use lgt::trotter::{trotter_circuit, TrotterOrder};
 use qopt::graph::{ColoringProblem, Graph};
 use qopt::qaoa::{QaoaConfig, QuditQaoa};
-use qudit_circuit::Circuit;
+use qudit_circuit::{Circuit, Gate};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 
 /// The Table-I sQED workload: a 9×2-site truncated scalar-QED chain (serpentine
 /// ordering of the 2D ladder onto a 1D chain) at link truncation `d`,
@@ -41,6 +43,48 @@ pub fn small_sqed_circuit(sites: usize, d: usize, steps: usize) -> Circuit {
     };
     let h = sqed_chain(&params).expect("valid sQED parameters");
     trotter_circuit(&h, 1.0, steps, TrotterOrder::First).expect("valid Trotter parameters")
+}
+
+/// A syndrome-extraction readout workload on a mixed-radix register: three
+/// data pairs (`d = 4, 4, 3, 3, 2, 2`) plus one qubit ancilla, evolved for
+/// `rounds` rounds. Each round applies dense Haar-random dynamics inside
+/// every data pair (plus single-qudit phase gates), entangles one rotating
+/// pair with the ancilla stabilizer-style (CSUMs), then measures and resets
+/// the ancilla — the per-wire mid-circuit readout shape of fault-tolerance
+/// studies.
+///
+/// Under global flushing every readout erases all fusion progress; under
+/// wire-local flushing the two pairs *not* being read keep their dynamics
+/// blocks alive across the measure + reset boundary, so each pair emits one
+/// fused block per readout period (three rounds) instead of one per round.
+///
+/// # Panics
+/// Panics only on programming errors (the construction is deterministic).
+pub fn syndrome_extraction_circuit(rounds: usize) -> Circuit {
+    let dims = vec![4usize, 4, 3, 3, 2, 2, 2];
+    let pairs: [(usize, usize); 3] = [(0, 1), (2, 3), (4, 5)];
+    let anc = 6;
+    let mut rng = StdRng::seed_from_u64(0x5EED);
+    let mut c = Circuit::new(dims.clone());
+    for round in 0..rounds {
+        // Data dynamics: a dense two-qudit gate inside each pair, framed by
+        // single-qudit gates that fuse into the same block.
+        for &(a, b) in &pairs {
+            c.push(Gate::fourier(dims[a]), &[a]).expect("valid gate");
+            let d = dims[a] * dims[b];
+            let u = qudit_core::random::haar_unitary(&mut rng, d).expect("valid dimension");
+            c.push(Gate::custom("dyn2", vec![dims[a], dims[b]], u).expect("valid gate"), &[a, b])
+                .expect("valid gate");
+            c.push(Gate::clock_z(dims[b]), &[b]).expect("valid gate");
+        }
+        // Stabilizer readout of one rotating pair through the ancilla.
+        let (a, b) = pairs[round % pairs.len()];
+        c.push(Gate::csum(dims[a], dims[anc]), &[a, anc]).expect("valid gate");
+        c.push(Gate::csum(dims[b], dims[anc]), &[b, anc]).expect("valid gate");
+        c.measure(&[anc]).expect("valid targets");
+        c.reset(anc).expect("valid target");
+    }
+    c
 }
 
 /// The Table-I coloring workload: 3-coloring QAOA (one layer) on a random
@@ -95,5 +139,18 @@ mod tests {
         assert_eq!(c.num_qudits(), 3);
         let p = table1_coloring_problem(6, 1);
         assert_eq!(p.graph.num_nodes(), 6);
+    }
+
+    #[test]
+    fn syndrome_circuit_has_per_round_readout() {
+        let rounds = 6;
+        let c = syndrome_extraction_circuit(rounds);
+        assert_eq!(c.num_qudits(), 7);
+        let measures = c
+            .instructions()
+            .iter()
+            .filter(|i| matches!(i, qudit_circuit::Instruction::Measure { .. }))
+            .count();
+        assert_eq!(measures, rounds, "one ancilla readout per round");
     }
 }

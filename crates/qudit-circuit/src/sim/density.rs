@@ -5,7 +5,10 @@
 //! re-compiled into [`DensityStep`]s, where every channel whose superoperator
 //! `Σ K ⊗ conj(K)` is profitable executes as a *single* strided sweep over
 //! vectorised ρ (see [`qudit_core::superop`]), and channel-adjacent unitary
-//! runs fold into the same sweep under a fusion-style cost rule. Use
+//! runs fold into the same sweep under a fusion-style cost rule. Both
+//! compilation stages flush **wire-locally**: a plan step may be re-ordered
+//! past a disjoint-support measurement or channel (exact, by commutation —
+//! see [`crate::sim::fusion`]). Use
 //! [`DensityMatrixSimulator::compile`] to reuse a plan across runs.
 
 use std::collections::HashMap;

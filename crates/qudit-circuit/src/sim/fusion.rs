@@ -22,10 +22,40 @@
 //!   irrelevant because open blocks commute (disjoint supports).
 //!
 //! Measurements, resets, explicit channels, noisy gates (gates the noise
-//! model decorates with channels) and lossy barriers are fusion barriers:
-//! they flush every open block before executing, preserving the circuit's
-//! observable semantics exactly. Noiseless barriers are dropped from the
-//! execution plan, which lets fusion reach across Trotter-step boundaries.
+//! model decorates with channels) and lossy barriers are fusion barriers.
+//! Under the default [`FlushPolicy::WireLocal`] a barrier closes **only the
+//! open blocks whose supports overlap its wires** — a measurement's targets,
+//! a reset's qudit, a channel's targets, a noisy gate's targets (its
+//! attached channels act on those same wires), and every wire for a lossy
+//! barrier (idle loss decays the whole register). Blocks on disjoint wires
+//! stay open and keep fusing *through* the barrier, which is what gives
+//! syndrome-extraction-style circuits (repeated ancilla measure + reset
+//! rounds) a fusion benefit at all. [`FlushPolicy::Global`] restores the
+//! PR-2 rule (every barrier closes everything) for comparison benchmarks.
+//! Noiseless barriers are dropped from the execution plan, which lets
+//! fusion reach across Trotter-step boundaries.
+//!
+//! ### Why deferring blocks past a barrier is sound
+//!
+//! A block that survives a barrier is emitted *later* in the compiled plan
+//! than an instruction that came *earlier* in the circuit. The re-ordering
+//! is exact, not approximate: the surviving block's support is disjoint
+//! from the barrier's wires (anything overlapping was flushed), and
+//! operations with disjoint supports commute as operators — `(U ⊗ I)(I ⊗ M)
+//! = (I ⊗ M)(U ⊗ I)` for any map `M`, unitary or not. Measurement outcome
+//! distributions, Kraus branch probabilities and reset projections on the
+//! barrier's wires are marginal quantities, invariant under any deferred
+//! unitary on disjoint wires, so every stochastic draw consumes the same
+//! number of variates against the same distribution in the same order and
+//! RNG streams stay aligned across flush policies. One caveat keeps the
+//! guarantee honest: the marginals agree *exactly* in real arithmetic but
+//! only to rounding in floating point (deferral changes the summation
+//! inputs), so a drawn outcome can differ between policies only when a
+//! uniform variate lands within ~1 ulp of an outcome boundary —
+//! probability ~1e-16 per draw. Away from that knife edge sampling is
+//! bitwise identical, which `tests/flush_props.rs` pins for its seeded
+//! workloads. The pass `debug_assert`s the disjointness invariant at every
+//! barrier.
 //!
 //! ## Cost rule and budget
 //!
@@ -78,11 +108,13 @@ pub struct FusionConfig {
     /// Maximum subspace dimension of a grown fused block (the cache-residency
     /// budget; a `64×64` complex block is 64 KiB).
     pub max_dim: usize,
+    /// How barriers (measure/reset/channel/noisy gate) close open blocks.
+    pub flush: FlushPolicy,
 }
 
 impl Default for FusionConfig {
     fn default() -> Self {
-        Self { enabled: true, max_qudits: 4, max_dim: 64 }
+        Self { enabled: true, max_qudits: 4, max_dim: 64, flush: FlushPolicy::WireLocal }
     }
 }
 
@@ -91,6 +123,52 @@ impl FusionConfig {
     pub fn disabled() -> Self {
         Self { enabled: false, ..Self::default() }
     }
+
+    /// The default configuration with the PR-2 [`FlushPolicy::Global`]
+    /// barrier rule, kept for comparison benchmarks and property tests.
+    pub fn global_flush() -> Self {
+        Self { flush: FlushPolicy::Global, ..Self::default() }
+    }
+}
+
+/// How a fusion barrier (measurement, reset, channel, noisy gate, lossy
+/// barrier) closes the open blocks on the frontier.
+///
+/// # Example
+///
+/// ```
+/// use qudit_circuit::sim::{FusionConfig, StatevectorSimulator};
+/// use qudit_circuit::{Circuit, Gate};
+///
+/// // A gate run on wire 0 interrupted by a measurement of wire 1.
+/// let mut c = Circuit::uniform(2, 3);
+/// c.push(Gate::fourier(3), &[0]).unwrap();
+/// c.measure(&[1]).unwrap();
+/// c.push(Gate::clock_z(3), &[0]).unwrap();
+///
+/// // Wire-local flushing (the default) fuses straight through it...
+/// let wire_local = StatevectorSimulator::new().compile(&c).unwrap();
+/// assert_eq!(wire_local.fusion_stats().unitary_steps_out, 1);
+/// assert_eq!(wire_local.fusion_stats().barrier_crossings, 1);
+///
+/// // ...while the global PR-2 rule cuts the run in two.
+/// let global = StatevectorSimulator::new()
+///     .with_fusion(FusionConfig::global_flush())
+///     .compile(&c)
+///     .unwrap();
+/// assert_eq!(global.fusion_stats().unitary_steps_out, 2);
+/// assert_eq!(global.fusion_stats().barrier_crossings, 0);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum FlushPolicy {
+    /// Close every open block at every barrier (the PR-2 rule). Simple, but
+    /// mid-circuit measurements erase all fusion progress register-wide.
+    Global,
+    /// Close only the blocks whose supports overlap the barrier's wires;
+    /// disjoint blocks stay open and fuse through the barrier. Sound because
+    /// disjoint-support operations commute (see the module docs).
+    #[default]
+    WireLocal,
 }
 
 /// What the fusion pass did to a circuit; exposed for benchmarks, tests and
@@ -105,6 +183,12 @@ pub struct FusionStats {
     pub multi_gate_blocks: usize,
     /// Largest subspace dimension among emitted blocks.
     pub max_block_dim: usize,
+    /// Open blocks that stayed alive across a fusion barrier (measurement,
+    /// reset, channel, noisy gate or lossy barrier), counted once per
+    /// `(block, barrier)` pair. Always zero under [`FlushPolicy::Global`];
+    /// nonzero means wire-local flushing let at least one gate run fuse
+    /// through a mid-circuit boundary.
+    pub barrier_crossings: usize,
 }
 
 /// One element of the fused execution order.
@@ -177,6 +261,43 @@ pub(crate) fn fuse(
                 close(open, wire, out, stats, slot);
             }
         }
+    };
+    // Closes only the open blocks whose supports overlap `targets`; the
+    // survivors commute with the barrier (disjoint supports), so they may
+    // keep growing and be emitted after it.
+    let flush_touching = |open: &mut Vec<Option<OpenBlock>>,
+                          wire: &mut Vec<Option<usize>>,
+                          out: &mut Vec<FusedInst>,
+                          stats: &mut FusionStats,
+                          targets: &[usize]| {
+        let mut slots: Vec<usize> = targets.iter().filter_map(|&t| wire[t]).collect();
+        slots.sort_unstable();
+        slots.dedup();
+        for slot in slots {
+            close(open, wire, out, stats, slot);
+        }
+    };
+    // Barrier handling shared by every non-fusable instruction: wire-local
+    // flushing when the barrier's wires are known, global otherwise (a lossy
+    // barrier decays every wire). `barrier_crossings` counts the blocks that
+    // survived, and the disjointness debug assertion is exactly the
+    // commutation precondition the re-ordered plan relies on.
+    let flush_for_barrier = |open: &mut Vec<Option<OpenBlock>>,
+                             wire: &mut Vec<Option<usize>>,
+                             out: &mut Vec<FusedInst>,
+                             stats: &mut FusionStats,
+                             wires: Option<&[usize]>| {
+        match wires {
+            Some(w) if config.flush == FlushPolicy::WireLocal => {
+                flush_touching(open, wire, out, stats, w);
+                debug_assert!(
+                    open.iter().flatten().all(|b| b.targets.iter().all(|t| !w.contains(t))),
+                    "a block overlapping a barrier survived the flush"
+                );
+            }
+            _ => flush_all(open, wire, out, stats),
+        }
+        stats.barrier_crossings += open.iter().filter(|b| b.is_some()).count();
     };
 
     for (index, inst) in circuit.instructions().iter().enumerate() {
@@ -287,10 +408,13 @@ pub(crate) fn fuse(
                 }
                 open.push(Some(OpenBlock { targets: sorted, sub_dim, matrix, gates: 1 }));
             }
-            Instruction::Unitary { .. } => {
+            Instruction::Unitary { targets, .. } => {
+                // A noisy gate (or fusion disabled): it executes verbatim,
+                // and the model's channels act on its own targets, so those
+                // wires are its barrier support.
                 stats.unitaries_in += 1;
                 stats.unitary_steps_out += 1;
-                flush_all(&mut open, &mut wire, &mut out, &mut stats);
+                flush_for_barrier(&mut open, &mut wire, &mut out, &mut stats, Some(targets));
                 out.push(FusedInst::Gate { index });
             }
             Instruction::Barrier if drop_noop_barriers && config.enabled => {
@@ -298,7 +422,15 @@ pub(crate) fn fuse(
                 // flushing lets fusion reach across Trotter-step boundaries.
             }
             _ => {
-                flush_all(&mut open, &mut wire, &mut out, &mut stats);
+                let wires: Option<&[usize]> = match inst {
+                    Instruction::Measure { targets } => Some(targets),
+                    Instruction::Reset { target } => Some(std::slice::from_ref(target)),
+                    Instruction::Channel { targets, .. } => Some(targets),
+                    // A lossy barrier applies idle loss to every qudit.
+                    Instruction::Barrier => None,
+                    Instruction::Unitary { .. } => unreachable!("handled above"),
+                };
+                flush_for_barrier(&mut open, &mut wire, &mut out, &mut stats, wires);
                 out.push(FusedInst::Passthrough { index });
             }
         }
@@ -507,6 +639,127 @@ mod tests {
                 .unwrap();
         let got = qudit_core::radix::embed_operator(c.radix(), matrix, &[0, 1]).unwrap();
         assert!((&got - &expected).max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn disjoint_measurement_does_not_flush_under_wire_local_policy() {
+        // A gate run on wire 0, interrupted by a measurement of wire 1: the
+        // run must fuse straight through it, and the (deferred) block is
+        // emitted after the passthrough.
+        let mut c = Circuit::uniform(2, 3);
+        c.push(Gate::fourier(3), &[0]).unwrap();
+        c.measure(&[1]).unwrap();
+        c.push(Gate::clock_z(3), &[0]).unwrap();
+        let (plan, stats) = fuse_simple(&c, &FusionConfig::default());
+        assert_eq!(plan.len(), 2);
+        assert!(matches!(plan[0], FusedInst::Passthrough { index: 1 }));
+        let FusedInst::Block { targets, matrix } = &plan[1] else { panic!("expected block") };
+        assert_eq!(targets, &[0]);
+        let expected = crate::gates::clock_z(3).matmul(&crate::gates::fourier(3)).unwrap();
+        assert!((matrix - &expected).max_abs() < 1e-12);
+        assert_eq!(stats.unitary_steps_out, 1);
+        assert_eq!(stats.multi_gate_blocks, 1);
+        assert_eq!(stats.barrier_crossings, 1);
+
+        // The global policy closes the run at the measurement.
+        let (plan, stats) = fuse_simple(&c, &FusionConfig::global_flush());
+        assert_eq!(plan.len(), 3);
+        assert_eq!(stats.unitary_steps_out, 2);
+        assert_eq!(stats.barrier_crossings, 0);
+    }
+
+    #[test]
+    fn overlapping_measurement_still_flushes_under_wire_local_policy() {
+        let mut c = Circuit::uniform(2, 3);
+        c.push(Gate::csum(3, 3), &[0, 1]).unwrap();
+        c.measure(&[1]).unwrap();
+        let (plan, stats) = fuse_simple(&c, &FusionConfig::default());
+        assert_eq!(plan.len(), 2);
+        assert!(matches!(plan[0], FusedInst::Block { .. }));
+        assert!(matches!(plan[1], FusedInst::Passthrough { index: 1 }));
+        assert_eq!(stats.barrier_crossings, 0);
+    }
+
+    #[test]
+    fn reset_and_channel_barriers_are_wire_local_too() {
+        // wire 0 carries a run; wire 1 sees a reset, then a channel. Neither
+        // touches wire 0, so the run survives both and crosses two barriers.
+        let mut c = Circuit::uniform(2, 3);
+        c.push(Gate::fourier(3), &[0]).unwrap();
+        c.reset(1).unwrap();
+        c.push_channel(crate::noise::KrausChannel::photon_loss(3, 0.5).unwrap(), &[1]).unwrap();
+        c.push(Gate::shift_x(3), &[0]).unwrap();
+        let (plan, stats) = fuse_simple(&c, &FusionConfig::default());
+        assert_eq!(plan.len(), 3);
+        assert!(matches!(plan[0], FusedInst::Passthrough { index: 1 }));
+        assert!(matches!(plan[1], FusedInst::Passthrough { index: 2 }));
+        assert!(matches!(plan[2], FusedInst::Block { .. }));
+        assert_eq!(stats.unitary_steps_out, 1);
+        assert_eq!(stats.barrier_crossings, 2);
+    }
+
+    #[test]
+    fn noisy_gate_barrier_flushes_only_its_own_wires() {
+        // Instruction 1 is marked non-fusable (a noisy gate on wire 1); the
+        // run on wire 0 must survive it.
+        let mut c = Circuit::uniform(2, 3);
+        c.push(Gate::fourier(3), &[0]).unwrap();
+        c.push(Gate::shift_x(3), &[1]).unwrap();
+        c.push(Gate::clock_z(3), &[0]).unwrap();
+        let fusable = vec![true, false, true];
+        let (plan, stats) = fuse(&c, &fusable, true, &FusionConfig::default()).unwrap();
+        assert_eq!(plan.len(), 2);
+        assert!(matches!(plan[0], FusedInst::Gate { index: 1 }));
+        assert!(matches!(plan[1], FusedInst::Block { .. }));
+        assert_eq!(stats.unitary_steps_out, 2, "noisy gate + one fused block");
+        assert_eq!(stats.barrier_crossings, 1);
+
+        // Global flush: the noisy gate cuts the wire-0 run in two.
+        let (plan, _) = fuse(&c, &fusable, true, &FusionConfig::global_flush()).unwrap();
+        assert_eq!(plan.len(), 3);
+    }
+
+    #[test]
+    fn lossy_barrier_flushes_every_wire_even_under_wire_local_policy() {
+        let mut c = Circuit::uniform(2, 3);
+        c.push(Gate::fourier(3), &[0]).unwrap();
+        c.barrier();
+        c.push(Gate::clock_z(3), &[0]).unwrap();
+        // drop_noop_barriers = false models an idle-loss noise model: the
+        // barrier decays *every* wire, so nothing may cross it.
+        let fusable = vec![true; c.len()];
+        let (plan, stats) = fuse(&c, &fusable, false, &FusionConfig::default()).unwrap();
+        assert_eq!(plan.len(), 3);
+        assert!(matches!(plan[0], FusedInst::Block { .. }));
+        assert!(matches!(plan[1], FusedInst::Passthrough { index: 1 }));
+        assert!(matches!(plan[2], FusedInst::Block { .. }));
+        assert_eq!(stats.barrier_crossings, 0);
+    }
+
+    #[test]
+    fn syndrome_round_shape_fuses_data_wires_through_ancilla_readout() {
+        // The syndrome-extraction shape: data wires 0..3, ancilla wire 4.
+        // Each round entangles a rotating data pair with the ancilla, then
+        // measures and resets the ancilla. Data gates on the *other* pair
+        // must fuse across the round boundary.
+        let mut c = Circuit::uniform(5, 3);
+        for round in 0..2 {
+            let (a, b) = if round == 0 { (0, 1) } else { (2, 3) };
+            for q in 0..4 {
+                c.push(Gate::fourier(3), &[q]).unwrap();
+            }
+            c.push(Gate::csum(3, 3), &[a, 4]).unwrap();
+            c.push(Gate::csum(3, 3), &[b, 4]).unwrap();
+            c.measure(&[4]).unwrap();
+            c.reset(4).unwrap();
+        }
+        let (_, wire_local) = fuse_simple(&c, &FusionConfig::default());
+        let (_, global) = fuse_simple(&c, &FusionConfig::global_flush());
+        assert!(wire_local.barrier_crossings > 0, "{wire_local:?}");
+        assert!(
+            wire_local.unitary_steps_out < global.unitary_steps_out,
+            "wire-local must emit fewer apply steps: {wire_local:?} vs {global:?}"
+        );
     }
 
     #[test]

@@ -11,6 +11,18 @@
 //! `Sync` afterwards, so the parallel trajectory executor shares one
 //! instance across worker threads. Mutable per-run scratch lives in the
 //! runner.
+//!
+//! Under the default wire-local flush policy the fused plan is a
+//! **re-ordering** of the source circuit: a fused block whose support is
+//! disjoint from a measurement/reset/channel can be emitted *after* it (the
+//! two commute exactly, see [`crate::sim::fusion`]). Both plan consumers —
+//! the shared [`ExecStep`] list the statevector/trajectory runners walk, and
+//! the [`DensityKernels`] superoperator frontier — therefore only rely on
+//! step order *within* a wire's light-cone, never on global program order.
+//! The density frontier applies the same wire-local rule: a per-term
+//! `Kraus` fallback or an over-budget sandwich closes only the open
+//! superoperator blocks it touches, and idle-loss barrier channels flush
+//! (or absorb into) exactly the per-qudit blocks of the wires they decay.
 
 use qudit_core::apply::{ApplyPlan, OpKind};
 use qudit_core::matrix::CMatrix;
@@ -430,6 +442,8 @@ impl DensityKernels {
         };
         // Closes every open block whose support intersects `targets`; the
         // remaining blocks commute with the emitted step (disjoint supports).
+        // This is the same wire-local flush rule the fusion pass applies to
+        // its unitary frontier.
         let flush_touching = |open: &mut Vec<Option<OpenSuper>>,
                               wire: &mut Vec<Option<usize>>,
                               steps: &mut Vec<DensityStep>,

@@ -34,7 +34,7 @@ mod statevector;
 mod trajectory;
 
 pub use density::{CompiledDensityCircuit, DensityMatrixSimulator};
-pub use fusion::{FusionConfig, FusionStats};
+pub use fusion::{FlushPolicy, FusionConfig, FusionStats};
 pub use kernels::{SuperopConfig, SuperopStats};
 pub use statevector::{CompiledCircuit, RunOutput, StatevectorSimulator};
 pub use trajectory::TrajectorySimulator;
@@ -93,19 +93,36 @@ pub(crate) fn apply_channel_prepared<R: Rng + ?Sized>(
         scratch.branch_probs.push(p);
     }
     let total: f64 = scratch.branch_probs.iter().sum();
+    if total <= 0.0 || total.is_nan() {
+        // All branch norms vanish only for a zero state (Kraus channels are
+        // trace-preserving); selecting the last branch regardless — the old
+        // behaviour — applied a zero-probability operator.
+        return Err(core(qudit_core::error::CoreError::InvalidProbability(
+            "channel branch probabilities carry no mass (zero state)".into(),
+        )));
+    }
     r *= total;
-    for k in 0..ops.len() {
-        let p = scratch.branch_probs[k];
-        if r < p || k == ops.len() - 1 {
-            state
-                .apply_prepared(&kernel.plan, &kernel.kinds[k], &ops[k], &mut scratch.block)
-                .map_err(core)?;
-            state.normalize().map_err(core)?;
-            return Ok(k);
+    // Linear scan matching the Cdf contract: zero-probability branches are
+    // never selected, and rounding at the top edge (r within one ulp of the
+    // total) falls back to the last *positive* branch rather than the last
+    // branch unconditionally.
+    let mut selected = None;
+    for (k, &p) in scratch.branch_probs.iter().enumerate() {
+        if p <= 0.0 {
+            continue;
+        }
+        selected = Some(k);
+        if r < p {
+            break;
         }
         r -= p;
     }
-    unreachable!("one Kraus branch is always selected")
+    let k = selected.expect("a positive total implies a positive branch");
+    state
+        .apply_prepared(&kernel.plan, &kernel.kinds[k], &ops[k], &mut scratch.block)
+        .map_err(core)?;
+    state.normalize().map_err(core)?;
+    Ok(k)
 }
 
 /// Applies classical readout error to a measured digit string: each digit is

@@ -237,6 +237,12 @@ impl StatevectorSimulator {
     /// trajectory loop: fused superblocks, stride plans, operator
     /// classifications and noise channels are reused, and one scratch buffer
     /// serves the whole run.
+    ///
+    /// The plan may be a wire-local re-ordering of the source circuit (a
+    /// fused block disjoint from a measurement can execute after it — see
+    /// [`crate::sim::fusion`]); steps are simply executed in plan order, and
+    /// the disjoint-support commutation argument guarantees identical
+    /// measurement distributions and aligned RNG streams.
     pub(crate) fn run_prepared(
         &self,
         kernels: &CircuitKernels,
@@ -321,7 +327,12 @@ impl StatevectorSimulator {
             let cdf = out.state.cdf();
             let radix = out.state.radix();
             for _ in 0..shots {
-                let mut digits = radix.digits_of(cdf.draw(&mut rng)).expect("index in range");
+                // A run output is normalised, so the distribution always has
+                // mass; the guarded draw keeps the degenerate case (an
+                // underflowed probability vector) on the documented
+                // ground-outcome convention instead of a zero-weight draw.
+                let chosen = cdf.try_draw(&mut rng).unwrap_or(0);
+                let mut digits = radix.digits_of(chosen).expect("index in range");
                 apply_readout_flip(&mut digits, circuit.dims(), self.noise.readout_flip, &mut rng);
                 *counts.entry(digits).or_insert(0) += 1;
             }

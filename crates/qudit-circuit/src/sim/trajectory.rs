@@ -11,7 +11,10 @@
 //! reduce in trajectory order, making every estimate **bitwise identical**
 //! to the serial loop regardless of thread count. The per-instruction stride
 //! plans, operator classifications and noise channels are precompiled once
-//! and shared (read-only) by all trajectories.
+//! and shared (read-only) by all trajectories — including the wire-local
+//! fused plan, which may re-order disjoint-support blocks past mid-circuit
+//! measurements (see [`crate::sim::fusion`]; estimates are unchanged because
+//! disjoint operations commute).
 
 use std::collections::HashMap;
 
@@ -222,7 +225,11 @@ impl TrajectorySimulator {
             let radix = state.radix();
             let mut counts: HashMap<Vec<usize>, usize> = HashMap::new();
             for _ in 0..shots_per_trajectory {
-                let mut digits = radix.digits_of(cdf.draw(&mut rng)).expect("index in range");
+                // Trajectory states are normalised; the guarded draw keeps a
+                // degenerate (underflowed) distribution on the documented
+                // ground-outcome convention instead of a zero-weight draw.
+                let chosen = cdf.try_draw(&mut rng).unwrap_or(0);
+                let mut digits = radix.digits_of(chosen).expect("index in range");
                 crate::sim::apply_readout_flip(
                     &mut digits,
                     circuit.dims(),

@@ -383,9 +383,11 @@ impl DensityMatrix {
     }
 
     /// Samples a computational-basis measurement of the full register without
-    /// collapsing the state.
+    /// collapsing the state. A zero-trace matrix has no drawable outcome and
+    /// samples the all-zeros (ground) digit string by convention (see
+    /// [`crate::sampling::Cdf::try_draw`]).
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<usize> {
-        let chosen = self.cdf().draw(rng);
+        let chosen = self.cdf().try_draw(rng).unwrap_or(0);
         self.radix.digits_of(chosen).expect("index in range")
     }
 
@@ -397,11 +399,13 @@ impl DensityMatrix {
 
     /// Samples `shots` computational-basis measurements, returning counts per
     /// flat basis index (cumulative distribution + binary search per shot).
+    /// A zero-trace matrix puts every shot on the ground outcome (the
+    /// convention of [`DensityMatrix::sample`]).
     pub fn sample_counts<R: Rng + ?Sized>(&self, rng: &mut R, shots: usize) -> Vec<usize> {
         let cdf = self.cdf();
         let mut counts = vec![0usize; self.dim()];
         for _ in 0..shots {
-            counts[cdf.draw(rng)] += 1;
+            counts[cdf.try_draw(rng).unwrap_or(0)] += 1;
         }
         counts
     }
@@ -605,5 +609,17 @@ mod tests {
     #[test]
     fn from_matrix_rejects_wrong_shape() {
         assert!(DensityMatrix::from_matrix(vec![2], CMatrix::identity(3)).is_err());
+    }
+
+    #[test]
+    fn sampling_a_zero_trace_matrix_falls_back_to_ground() {
+        // Regression: the zero-total CDF used to return the *last* basis
+        // index (weight zero); the documented convention is the ground
+        // outcome, mirroring `QuditState::sample`.
+        let rho = DensityMatrix::from_matrix(vec![2, 2], CMatrix::zeros(4, 4)).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        assert_eq!(rho.sample(&mut rng), vec![0, 0]);
+        let counts = rho.sample_counts(&mut rng, 17);
+        assert_eq!(counts[0], 17);
     }
 }

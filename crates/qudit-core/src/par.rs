@@ -43,6 +43,15 @@
 //! `max_threads()` at first use; later `QUDIT_NUM_THREADS` changes still
 //! affect the default chunk count, and chunking beyond the worker count is
 //! always allowed.
+//!
+//! `QUDIT_NUM_THREADS` follows **one rule**: a value that parses as a
+//! positive integer requests exactly that many threads; anything else —
+//! unset, empty, `0`, negative, or malformed (`"4 threads"`) — means
+//! *automatic* and falls back to the machine's available parallelism. `0`
+//! deliberately matches the simulators' `with_threads(0)` convention.
+//! (Previously `0` clamped to one thread while malformed values silently
+//! meant "all cores", two different fallbacks for the same kind of bad
+//! input.)
 
 use std::cell::Cell;
 use std::num::NonZeroUsize;
@@ -107,14 +116,23 @@ pub fn pool_workers() -> usize {
     pool().workers
 }
 
-/// Number of worker threads used when the caller does not specify one.
+/// Number of worker threads used when the caller does not specify one (see
+/// the module docs for the `QUDIT_NUM_THREADS` resolution rule).
 pub fn max_threads() -> usize {
-    if let Ok(v) = std::env::var("QUDIT_NUM_THREADS") {
-        if let Ok(n) = v.trim().parse::<usize>() {
-            return n.max(1);
-        }
+    std::env::var("QUDIT_NUM_THREADS")
+        .ok()
+        .and_then(|v| requested_threads(&v))
+        .unwrap_or_else(|| std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1))
+}
+
+/// Parses a `QUDIT_NUM_THREADS` value: `Some(n)` for a positive integer,
+/// `None` (meaning "automatic") for everything else — empty, zero, negative
+/// or otherwise malformed input. One rule for every invalid value.
+fn requested_threads(raw: &str) -> Option<usize> {
+    match raw.trim().parse::<usize>() {
+        Ok(0) | Err(_) => None,
+        Ok(n) => Some(n),
     }
-    std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
 }
 
 /// Maps `f` over `0..n` with the default thread count, preserving index order.
@@ -214,6 +232,21 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn thread_env_values_follow_one_rule() {
+        // Positive integers (with surrounding whitespace) are honoured...
+        assert_eq!(requested_threads("1"), Some(1));
+        assert_eq!(requested_threads(" 8 "), Some(8));
+        assert_eq!(requested_threads("16\n"), Some(16));
+        // ...and every invalid value means "automatic", uniformly.
+        assert_eq!(requested_threads("0"), None, "0 = automatic, like with_threads(0)");
+        assert_eq!(requested_threads(""), None);
+        assert_eq!(requested_threads("-2"), None, "negatives are invalid, not clamped");
+        assert_eq!(requested_threads("4 threads"), None);
+        assert_eq!(requested_threads("four"), None);
+        assert_eq!(requested_threads("3.5"), None);
+    }
 
     #[test]
     fn par_map_matches_serial_map_in_order() {

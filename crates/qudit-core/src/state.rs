@@ -244,8 +244,13 @@ impl QuditState {
 
     /// Samples a computational-basis measurement of the full register without
     /// collapsing the state. Returns the observed digit string.
+    ///
+    /// A zero-mass state (all amplitudes zero, e.g. fully decayed under an
+    /// unnormalised lossy map) has no drawable outcome; by convention it
+    /// samples the all-zeros (ground) digit string instead of silently
+    /// drawing a zero-weight outcome.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<usize> {
-        let chosen = self.cdf().draw(rng);
+        let chosen = self.cdf().try_draw(rng).unwrap_or(0);
         self.radix.digits_of(chosen).expect("index in range")
     }
 
@@ -259,11 +264,13 @@ impl QuditState {
     /// Samples `shots` computational-basis measurements, returning a count per
     /// flat basis index. Uses a precomputed cumulative distribution with a
     /// binary search per shot instead of the seed's O(dim) scan per shot.
+    /// A zero-mass state puts every shot on the ground outcome (the
+    /// convention of [`QuditState::sample`]).
     pub fn sample_counts<R: Rng + ?Sized>(&self, rng: &mut R, shots: usize) -> Vec<usize> {
         let cdf = self.cdf();
         let mut counts = vec![0usize; self.dim()];
         for _ in 0..shots {
-            counts[cdf.draw(rng)] += 1;
+            counts[cdf.try_draw(rng).unwrap_or(0)] += 1;
         }
         counts
     }
@@ -272,7 +279,9 @@ impl QuditState {
     /// collapsing the state, and returns the observed digits (in target order).
     ///
     /// # Errors
-    /// Returns an error for invalid targets.
+    /// Returns an error for invalid targets, or when the targets' marginal
+    /// distribution carries no probability mass (a zero state cannot be
+    /// measured — collapsing onto a zero-weight outcome is undefined).
     pub fn measure<R: Rng + ?Sized>(
         &mut self,
         targets: &[usize],
@@ -281,7 +290,11 @@ impl QuditState {
         let plan = ApplyPlan::new(&self.radix, targets)?;
         let target_radix = Radix::new(targets.iter().map(|&t| self.radix.dims()[t]).collect())?;
         let probs = plan.marginal_probabilities(&self.amplitudes);
-        let outcome = Cdf::from_weights(probs).draw(rng);
+        let outcome = Cdf::from_weights(probs).try_draw(rng).ok_or_else(|| {
+            CoreError::InvalidProbability(
+                "measurement targets carry no probability mass (zero state)".into(),
+            )
+        })?;
         let outcome_digits = target_radix.digits_of(outcome)?;
         // Project and renormalise.
         plan.collapse(&mut self.amplitudes, outcome);
@@ -498,5 +511,34 @@ mod tests {
     fn from_amplitudes_rejects_bad_input() {
         assert!(QuditState::from_amplitudes(vec![2], vec![Complex64::ZERO; 3]).is_err());
         assert!(QuditState::from_amplitudes(vec![2], vec![Complex64::ZERO; 2]).is_err());
+    }
+
+    /// A fully-decayed state: apply the Kraus operator `|0⟩⟨0|` to `|1⟩`,
+    /// which annihilates the vector without renormalisation.
+    fn zero_mass_state() -> QuditState {
+        let mut s = QuditState::basis(vec![2, 2], &[1, 0]).unwrap();
+        let mut k = CMatrix::zeros(2, 2);
+        k[(0, 0)] = Complex64::ONE;
+        s.apply_operator(&k, &[0]).unwrap();
+        assert!(s.norm() < 1e-300);
+        s
+    }
+
+    #[test]
+    fn measuring_a_zero_mass_state_errors_instead_of_drawing() {
+        // Regression: the zero-total CDF used to hand back the last outcome
+        // (weight zero), collapsing onto an impossible measurement result.
+        let mut s = zero_mass_state();
+        let mut rng = StdRng::seed_from_u64(2);
+        assert!(s.measure(&[0], &mut rng).is_err());
+    }
+
+    #[test]
+    fn sampling_a_zero_mass_state_falls_back_to_ground() {
+        let s = zero_mass_state();
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(s.sample(&mut rng), vec![0, 0]);
+        let counts = s.sample_counts(&mut rng, 25);
+        assert_eq!(counts[0], 25, "every shot lands on the ground outcome");
     }
 }
