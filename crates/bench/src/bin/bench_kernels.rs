@@ -1,22 +1,19 @@
-//! Kernel benchmark harness for PR 4: times wire-local fusion flushing on
-//! the syndrome-extraction workload on top of the PR-1/2/3 rows, prints a
-//! summary table and writes the numbers to `BENCH_4.json`.
+//! Kernel benchmark harness for PR 5: times the parameterized-IR rebind path
+//! on a QAOA angle sweep on top of the PR-1/2/3/4 rows, prints a summary
+//! table and writes the numbers to `BENCH_5.json`.
 //!
 //! The earlier rows (trajectory expectation, deterministic sampling, raw
-//! sampler, measure/collapse, statevector fusion, Lindblad, density
-//! superoperator batching, `par_map` overhead) are re-measured unchanged so
-//! regressions against earlier BENCH files are visible; `statevector_run`
-//! keeps its anchor to BENCH_1's frozen optimized time. The new rows isolate
-//! what PR 4 adds, on [`bench::syndrome_extraction_circuit`] (mid-circuit
-//! ancilla measure + reset every round — the shape on which the old global
-//! flush rule erased all fusion progress):
+//! sampler, measure/collapse, statevector fusion, syndrome-extraction flush
+//! policies, Lindblad, density superoperator batching, `par_map` overhead)
+//! are re-measured unchanged so regressions against earlier BENCH files are
+//! visible; `statevector_run` keeps its anchor to BENCH_1's frozen optimized
+//! time. The new row isolates what PR 5 adds:
 //!
-//! * `syndrome_extraction_unfused` — fusion off, precompiled (the floor).
-//! * `syndrome_extraction_full_flush` — fusion on with the PR-2
-//!   [`FlushPolicy::Global`] barrier rule, vs the unfused floor.
-//! * `syndrome_extraction_wire_local` — the default wire-local rule, **vs
-//!   the full-flush row** (its `speedup` field is the wire-local-over-
-//!   global-flush ratio CI asserts ≥ 1.2×).
+//! * `qaoa_rebind_sweep` — a p-layer QAOA parameter sweep through one
+//!   compiled plan rebound per angle set (`CompiledCircuit::bind`), vs
+//!   rebuilding + recompiling the circuit every step (the pre-PR-5
+//!   variational-loop shape). CI asserts ≥ 2× and that rebound and rebuilt
+//!   runs agree at 1e-12.
 //!
 //! Run with `cargo run --release -p bench --bin bench_kernels`.
 
@@ -446,6 +443,69 @@ fn main() {
         optimized_s: percall_s,
     });
 
+    // --- QAOA rebind sweep: one compiled plan rebound per angle set. -----
+    // The variational-loop shape every parameter sweep in the workspace
+    // shares: the circuit *structure* (targets, fusion blocks, stride plans)
+    // is angle-independent, so the pre-PR-5 rebuild-per-step loop repaid the
+    // whole compilation pipeline — per-gate generator eigendecompositions,
+    // gate fusion, ApplyPlan construction, OpKind classification — on every
+    // objective evaluation. The rebind path re-materialises only the
+    // parameter-dependent (possibly fused) block operators in place.
+    let layers = 3usize;
+    let qaoa_problem = bench::table1_coloring_problem(5, 3);
+    let qaoa = qopt::qaoa::QuditQaoa::new(
+        qaoa_problem,
+        qopt::qaoa::QaoaConfig { layers, ..Default::default() },
+    );
+    let ansatz = qaoa.ansatz().unwrap();
+    let sweep_len = 24usize;
+    let sweep: Vec<Vec<f64>> = (0..sweep_len)
+        .map(|k| {
+            let x = k as f64 / sweep_len as f64;
+            (0..2 * layers).map(|i| 0.15 + 0.05 * i as f64 + 0.6 * x).collect()
+        })
+        .collect();
+    let qaoa_sv = StatevectorSimulator::with_seed(33);
+    let mut qaoa_plan = qaoa_sv.compile(&ansatz).unwrap();
+    assert_eq!(qaoa_plan.num_params(), 2 * layers, "one gamma + one beta per layer");
+    // Physics cross-check: rebind ≡ rebuild at 1e-12 across the sweep.
+    for params in &sweep {
+        let rebound = qaoa_sv.run_bound(&mut qaoa_plan, params).unwrap().state;
+        let (g, b) = params.split_at(layers);
+        let rebuilt = qaoa_sv.run(&qaoa.circuit(g, b).unwrap()).unwrap();
+        let overlap = rebound.inner(&rebuilt).unwrap().abs();
+        assert!((overlap - 1.0).abs() < 1e-12, "rebind/rebuild overlap {overlap}");
+    }
+    let qaoa_dim = ansatz.total_dim();
+    let baseline_s = time_best(3, || {
+        for params in &sweep {
+            let (g, b) = params.split_at(layers);
+            let circuit = qaoa.circuit(g, b).unwrap();
+            std::hint::black_box(qaoa_sv.run(&circuit).unwrap());
+        }
+    });
+    let optimized_s = time_best(3, || {
+        for params in &sweep {
+            std::hint::black_box(qaoa_sv.run_bound(&mut qaoa_plan, params).unwrap());
+        }
+    });
+    // The parameter-dependent apply steps bind() actually re-materialises.
+    let qaoa_rebound_steps = qaoa_plan.rebindable_steps();
+    assert!(qaoa_rebound_steps >= 1, "the rebind path must engage on the QAOA ansatz");
+    entries.push(Entry {
+        name: "qaoa_rebind_sweep".into(),
+        detail: format!(
+            "{sweep_len}-step angle sweep, 5-node 3-coloring QAOA p={layers}, dim {qaoa_dim}; \
+             compile once + bind per step ({} of {} apply steps rebindable, {} params) vs \
+             rebuild + recompile per step",
+            qaoa_rebound_steps,
+            qaoa_plan.fusion_stats().unitary_steps_out,
+            2 * layers
+        ),
+        baseline_s: Some(baseline_s),
+        optimized_s,
+    });
+
     // --- par_map spawn overhead: persistent pool vs scoped threads. ------
     // Many small calls with trivial per-item work measure the per-call
     // fork-join cost, which is what the pool eliminates.
@@ -490,13 +550,13 @@ fn main() {
         })
         .collect();
     print_table(
-        "PR 4 kernel benchmarks (best-of-N wall clock)",
+        "PR 5 kernel benchmarks (best-of-N wall clock)",
         &["kernel", "baseline ms", "optimized ms", "speedup"],
         &rows,
     );
 
-    // --- BENCH_4.json (hand-rolled: no JSON dependency offline). ---------
-    let mut json = String::from("{\n  \"bench\": 4,\n");
+    // --- BENCH_5.json (hand-rolled: no JSON dependency offline). ---------
+    let mut json = String::from("{\n  \"bench\": 5,\n");
     json.push_str(&format!(
         "  \"workload\": {{\"circuit\": \"small_sqed_circuit\", \"sites\": {sites}, \"link_dim\": {d}, \"trotter_steps\": {steps}, \"dim\": {dim}}},\n"
     ));
@@ -523,6 +583,11 @@ fn main() {
         sstats.kraus_steps,
         sstats.max_super_dim
     ));
+    json.push_str(&format!(
+        "  \"rebind\": {{\"sweep_len\": {sweep_len}, \"num_params\": {}, \"rebindable_steps\": {}, \"dim\": {qaoa_dim}}},\n",
+        qaoa_plan.num_params(),
+        qaoa_rebound_steps
+    ));
     json.push_str(&format!("  \"threads\": {},\n", qudit_core::par::max_threads()));
     json.push_str(&format!("  \"pool_workers\": {},\n", qudit_core::par::pool_workers()));
     json.push_str("  \"results\": [\n");
@@ -538,6 +603,6 @@ fn main() {
         ));
     }
     json.push_str("  ]\n}\n");
-    std::fs::write("BENCH_4.json", &json).expect("write BENCH_4.json");
-    println!("\nwrote BENCH_4.json");
+    std::fs::write("BENCH_5.json", &json).expect("write BENCH_5.json");
+    println!("\nwrote BENCH_5.json");
 }

@@ -7,10 +7,10 @@
 //! separator applies a phase to every monochromatic edge; the mixer is a
 //! single-qudit rotation that moves population between colours.
 
+use qudit_circuit::gates;
 use qudit_circuit::noise::NoiseModel;
-use qudit_circuit::sim::{StatevectorSimulator, TrajectorySimulator};
-use qudit_circuit::{Circuit, Gate};
-use qudit_core::complex::Complex64;
+use qudit_circuit::sim::{CompiledCircuit, StatevectorSimulator, TrajectorySimulator};
+use qudit_circuit::{Circuit, Gate, Param};
 use qudit_core::matrix::CMatrix;
 use qudit_core::radix::Radix;
 use rand::rngs::StdRng;
@@ -64,6 +64,54 @@ pub struct QaoaOutcome {
     pub best_assignment: Vec<usize>,
     /// Properly coloured edges of the best sampled assignment.
     pub best_value: usize,
+}
+
+/// The simulation back-end of a compiled [`QaoaEvaluator`].
+#[derive(Debug, Clone)]
+enum QaoaBackend {
+    /// Noiseless: exact statevector probabilities.
+    Statevector { sim: StatevectorSimulator, plan: CompiledCircuit },
+    /// Noisy: trajectory-averaged outcome distribution.
+    Trajectory { sim: TrajectorySimulator, plan: CompiledCircuit },
+}
+
+/// A compiled, rebindable QAOA evaluator: the parameterized ansatz's fused
+/// execution plan plus the simulator it was compiled against. Each
+/// [`QuditQaoa::expected_value_bound`] call rebinds the plan in place
+/// (`CompiledCircuit::bind`) — no circuit rebuild, no re-fusion, no
+/// stride-plan reconstruction per optimizer step.
+#[derive(Debug, Clone)]
+pub struct QaoaEvaluator {
+    layers: usize,
+    backend: QaoaBackend,
+}
+
+impl QaoaEvaluator {
+    /// Number of QAOA layers the underlying ansatz was built with.
+    pub fn layers(&self) -> usize {
+        self.layers
+    }
+
+    /// Per-qudit dimensions of the compiled ansatz register.
+    fn dims(&self) -> &[usize] {
+        match &self.backend {
+            QaoaBackend::Statevector { plan, .. } | QaoaBackend::Trajectory { plan, .. } => {
+                plan.dims()
+            }
+        }
+    }
+
+    /// The outcome distribution at a parameter binding (rebinds in place).
+    fn distribution(&mut self, params: &[f64]) -> Result<Vec<f64>> {
+        match &mut self.backend {
+            QaoaBackend::Statevector { sim, plan } => {
+                Ok(sim.run_bound(plan, params).map_err(QoptError::Circuit)?.state.probabilities())
+            }
+            QaoaBackend::Trajectory { sim, plan } => {
+                sim.outcome_distribution_bound(plan, params).map_err(QoptError::Circuit)
+            }
+        }
+    }
 }
 
 /// A qudit one-hot QAOA instance, optionally with a per-node colour
@@ -123,19 +171,16 @@ impl QuditQaoa {
         physical.iter().enumerate().map(|(v, &l)| self.gauge[v][l]).collect()
     }
 
-    /// Builds the QAOA circuit for the given angles.
+    /// Builds the **parameterized ansatz** once: γ of layer `l` is free
+    /// parameter `l`, β of layer `l` is free parameter `layers + l` (the
+    /// packing [`QuditQaoa::pack_angles`] produces). The structure — targets,
+    /// fusion decisions, stride plans — is angle-independent, so a compiled
+    /// plan is rebound per optimizer step instead of rebuilt.
     ///
     /// # Errors
-    /// Returns an error if the angle lists do not match the layer count.
-    pub fn circuit(&self, gammas: &[f64], betas: &[f64]) -> Result<Circuit> {
-        if gammas.len() != self.config.layers || betas.len() != self.config.layers {
-            return Err(QoptError::InvalidConfig(format!(
-                "expected {} angles per schedule, got {} gammas / {} betas",
-                self.config.layers,
-                gammas.len(),
-                betas.len()
-            )));
-        }
+    /// Returns an error if a gate fails to validate.
+    pub fn ansatz(&self) -> Result<Circuit> {
+        let p = self.config.layers;
         let d = self.problem.colors;
         let n = self.problem.graph.num_nodes();
         let mut circuit = Circuit::uniform(n, d);
@@ -143,18 +188,25 @@ impl QuditQaoa {
         for v in 0..n {
             circuit.push(Gate::fourier(d), &[v]).map_err(QoptError::Circuit)?;
         }
-        for layer in 0..self.config.layers {
+        let mixer_h = match self.config.mixer {
+            MixerKind::Ring => gates::x_mixer_generator(d),
+            MixerKind::Full => gates::full_mixer_generator(d),
+        };
+        for layer in 0..p {
             // Phase separation: a phase on every monochromatic edge (in the
             // gauge-transformed logical colours).
             for &(a, b) in self.problem.graph.edges() {
-                let gate = self.edge_phase_gate(a, b, gammas[layer]);
+                let gate = self.edge_phase_gate(a, b, Param::Free(layer));
                 circuit.push(gate, &[a, b]).map_err(QoptError::Circuit)?;
             }
             // Mixing on every node.
-            let mixer = match self.config.mixer {
-                MixerKind::Ring => Gate::x_mixer(d, betas[layer]),
-                MixerKind::Full => Gate::full_mixer(d, betas[layer]),
-            };
+            let mixer = Gate::parameterized(
+                format!("Mix[{layer}]"),
+                vec![d],
+                &mixer_h,
+                Param::Free(p + layer),
+            )
+            .map_err(QoptError::Circuit)?;
             for v in 0..n {
                 circuit.push(mixer.clone(), &[v]).map_err(QoptError::Circuit)?;
             }
@@ -163,52 +215,114 @@ impl QuditQaoa {
         Ok(circuit)
     }
 
-    /// The two-qudit diagonal phase-separation gate for one edge:
-    /// `exp(−iγ)` on every pair of physical levels that decode to the same
-    /// logical colour.
-    fn edge_phase_gate(&self, a: usize, b: usize, gamma: f64) -> Gate {
+    /// Packs per-layer angle schedules into the ansatz's parameter vector.
+    ///
+    /// # Errors
+    /// Returns an error if the angle lists do not match the layer count.
+    pub fn pack_angles(&self, gammas: &[f64], betas: &[f64]) -> Result<Vec<f64>> {
+        if gammas.len() != self.config.layers || betas.len() != self.config.layers {
+            return Err(QoptError::InvalidConfig(format!(
+                "expected {} angles per schedule, got {} gammas / {} betas",
+                self.config.layers,
+                gammas.len(),
+                betas.len()
+            )));
+        }
+        Ok(gammas.iter().chain(betas.iter()).copied().collect())
+    }
+
+    /// Builds the QAOA circuit for concrete angles: the parameterized ansatz
+    /// bound at `(γ, β)`.
+    ///
+    /// # Errors
+    /// Returns an error if the angle lists do not match the layer count.
+    pub fn circuit(&self, gammas: &[f64], betas: &[f64]) -> Result<Circuit> {
+        let params = self.pack_angles(gammas, betas)?;
+        self.ansatz()?.with_bound(&params).map_err(QoptError::Circuit)
+    }
+
+    /// The two-qudit phase-separation gate for one edge, `exp(−iγ P)` with
+    /// `P` the projector onto pairs of physical levels that decode to the
+    /// same logical colour; `γ` may be symbolic.
+    fn edge_phase_gate(&self, a: usize, b: usize, gamma: Param) -> Gate {
         let d = self.problem.colors;
-        let diag: Vec<Complex64> = (0..d * d)
+        let weights: Vec<f64> = (0..d * d)
             .map(|idx| {
                 let la = idx / d;
                 let lb = idx % d;
                 if self.gauge[a][la] == self.gauge[b][lb] {
-                    Complex64::cis(-gamma)
+                    1.0
                 } else {
-                    Complex64::ONE
+                    0.0
                 }
             })
             .collect();
-        Gate::custom(format!("CPhase({a},{b})"), vec![d, d], CMatrix::diag(&diag))
-            .expect("diagonal phase gate is unitary")
+        Gate::parameterized(
+            format!("CPhase({a},{b})"),
+            vec![d, d],
+            &CMatrix::diag_real(&weights),
+            gamma,
+        )
+        .expect("diagonal projector generator is Hermitian")
+    }
+
+    /// Compiles the parameterized ansatz into a rebindable evaluator for the
+    /// given noise model: one fused execution plan, rebound per angle set
+    /// (noiseless: statevector; noisy: trajectory averaging). This is the
+    /// plan-reuse path [`QuditQaoa::optimize`] drives — circuit construction,
+    /// generator eigendecompositions, gate fusion and stride-plan building
+    /// all happen exactly once per optimisation run.
+    ///
+    /// # Errors
+    /// Returns an error if compilation fails.
+    pub fn evaluator(&self, noise: &NoiseModel) -> Result<QaoaEvaluator> {
+        let ansatz = self.ansatz()?;
+        let backend = if noise.is_noiseless() {
+            let sim = StatevectorSimulator::with_seed(self.config.seed);
+            let plan = sim.compile(&ansatz).map_err(QoptError::Circuit)?;
+            QaoaBackend::Statevector { sim, plan }
+        } else {
+            let sim = TrajectorySimulator::new(self.config.trajectories)
+                .with_seed(self.config.seed)
+                .with_noise(noise.clone());
+            let plan = sim.compile(&ansatz).map_err(QoptError::Circuit)?;
+            QaoaBackend::Trajectory { sim, plan }
+        };
+        Ok(QaoaEvaluator { layers: self.config.layers, backend })
+    }
+
+    /// Expected number of properly coloured edges at the rebound angles,
+    /// through a compiled evaluator (see [`QuditQaoa::evaluator`]).
+    ///
+    /// # Errors
+    /// Returns an error if the angle lists do not match the layer count or
+    /// simulation fails.
+    pub fn expected_value_bound(
+        &self,
+        eval: &mut QaoaEvaluator,
+        gammas: &[f64],
+        betas: &[f64],
+    ) -> Result<f64> {
+        let params = self.pack_angles(gammas, betas)?;
+        let distribution = eval.distribution(&params)?;
+        Ok(self.distribution_value(eval.dims(), &distribution))
     }
 
     /// Expected number of properly coloured edges of the circuit output.
     ///
     /// Noiseless: exact from the state vector. Noisy: averaged over quantum
-    /// trajectories.
+    /// trajectories. One-shot convenience over [`QuditQaoa::evaluator`] /
+    /// [`QuditQaoa::expected_value_bound`].
     ///
     /// # Errors
     /// Returns an error if simulation fails.
     pub fn expected_value(&self, gammas: &[f64], betas: &[f64], noise: &NoiseModel) -> Result<f64> {
-        let circuit = self.circuit(gammas, betas)?;
-        let distribution = if noise.is_noiseless() {
-            StatevectorSimulator::with_seed(self.config.seed)
-                .run(&circuit)
-                .map_err(QoptError::Circuit)?
-                .probabilities()
-        } else {
-            TrajectorySimulator::new(self.config.trajectories)
-                .with_seed(self.config.seed)
-                .with_noise(noise.clone())
-                .outcome_distribution(&circuit)
-                .map_err(QoptError::Circuit)?
-        };
-        Ok(self.distribution_value(&circuit, &distribution))
+        let mut eval = self.evaluator(noise)?;
+        self.expected_value_bound(&mut eval, gammas, betas)
     }
 
-    fn distribution_value(&self, circuit: &Circuit, distribution: &[f64]) -> f64 {
-        let radix = Radix::new(circuit.dims().to_vec()).expect("valid dims");
+    fn distribution_value(&self, dims: &[usize], distribution: &[f64]) -> f64 {
+        let radix = Radix::new(dims.to_vec()).expect("valid dims");
         distribution
             .iter()
             .enumerate()
@@ -230,10 +344,14 @@ impl QuditQaoa {
     /// Returns an error if simulation fails.
     pub fn optimize(&self, noise: &NoiseModel) -> Result<QaoaOutcome> {
         let p = self.config.layers;
+        // One compiled plan for the whole optimisation: every objective
+        // evaluation below rebinds it in place instead of rebuilding and
+        // recompiling the circuit.
+        let mut eval = self.evaluator(noise)?;
         // Initial angles.
         let initial: Vec<f64> = if p == 1 {
             let (best, _) = grid_search(2, 0.1, 1.2, 5, |x| {
-                self.expected_value(&[x[0]], &[x[1]], noise).unwrap_or(0.0)
+                self.expected_value_bound(&mut eval, &[x[0]], &[x[1]]).unwrap_or(0.0)
             });
             best
         } else {
@@ -243,7 +361,7 @@ impl QuditQaoa {
             &initial,
             |x| {
                 let (g, b) = x.split_at(p);
-                self.expected_value(g, b, noise).unwrap_or(0.0)
+                self.expected_value_bound(&mut eval, g, b).unwrap_or(0.0)
             },
             self.config.optimizer_rounds,
             0.25,
@@ -365,6 +483,32 @@ mod tests {
         let mut qaoa = QuditQaoa::new(triangle_problem(), QaoaConfig::default());
         qaoa.set_gauge(vec![vec![2, 0, 1], vec![0, 1, 2], vec![1, 2, 0]]).unwrap();
         assert_eq!(qaoa.decode(&[0, 1, 2]), vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn rebound_evaluator_matches_rebuilt_circuits() {
+        let qaoa =
+            QuditQaoa::new(triangle_problem(), QaoaConfig { layers: 2, ..Default::default() });
+        let ansatz = qaoa.ansatz().unwrap();
+        assert_eq!(ansatz.num_params(), 4, "2 gammas + 2 betas");
+        let mut eval = qaoa.evaluator(&NoiseModel::noiseless()).unwrap();
+        for (g, b) in [([0.3, 0.1], [0.5, 0.2]), ([0.9, 0.4], [0.2, 0.7])] {
+            let swept = qaoa.expected_value_bound(&mut eval, &g, &b).unwrap();
+            // Reference: build + simulate the bound circuit from scratch.
+            let circuit = qaoa.circuit(&g, &b).unwrap();
+            let probs = StatevectorSimulator::with_seed(qaoa.config.seed)
+                .run(&circuit)
+                .unwrap()
+                .probabilities();
+            let rebuilt = qaoa.distribution_value(circuit.dims(), &probs);
+            assert!((swept - rebuilt).abs() < 1e-12, "{swept} vs {rebuilt}");
+        }
+        // The noisy (trajectory) backend rebinds identically too.
+        let noise = NoiseModel::depolarizing(0.02, 0.02);
+        let mut noisy_eval = qaoa.evaluator(&noise).unwrap();
+        let swept = qaoa.expected_value_bound(&mut noisy_eval, &[0.4, 0.2], &[0.3, 0.1]).unwrap();
+        let rebuilt = qaoa.expected_value(&[0.4, 0.2], &[0.3, 0.1], &noise).unwrap();
+        assert!((swept - rebuilt).abs() < 1e-12, "{swept} vs {rebuilt}");
     }
 
     #[test]

@@ -17,6 +17,8 @@ pub enum QrcError {
     Core(qudit_core::CoreError),
     /// An error bubbled up from the cQED simulator.
     Cavity(cavity_sim::CavityError),
+    /// An error bubbled up from the circuit layer (digital reservoir).
+    Circuit(qudit_circuit::CircuitError),
 }
 
 impl fmt::Display for QrcError {
@@ -26,6 +28,7 @@ impl fmt::Display for QrcError {
             QrcError::TrainingFailed(msg) => write!(f, "training failed: {msg}"),
             QrcError::Core(e) => write!(f, "core error: {e}"),
             QrcError::Cavity(e) => write!(f, "cavity error: {e}"),
+            QrcError::Circuit(e) => write!(f, "circuit error: {e}"),
         }
     }
 }
@@ -41,6 +44,12 @@ impl From<qudit_core::CoreError> for QrcError {
 impl From<cavity_sim::CavityError> for QrcError {
     fn from(e: cavity_sim::CavityError) -> Self {
         QrcError::Cavity(e)
+    }
+}
+
+impl From<qudit_circuit::CircuitError> for QrcError {
+    fn from(e: qudit_circuit::CircuitError) -> Self {
+        QrcError::Circuit(e)
     }
 }
 

@@ -7,6 +7,8 @@
 //! * [`reservoir`] — the coupled-oscillator reservoir (Lindblad dynamics,
 //!   displacement input encoding, observable feature map, shot-limited
 //!   read-out).
+//! * [`digital`] — the gate-based realisation of the same reservoir: one
+//!   compiled parameterized segment circuit, rebound per input sample.
 //! * [`tasks`] — NARMA, Mackey–Glass, waveform-classification and memory
 //!   benchmark tasks.
 //! * [`train`] — ridge-regression readout.
@@ -27,6 +29,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod digital;
 pub mod error;
 pub mod esn;
 pub mod pipeline;
@@ -34,9 +37,13 @@ pub mod reservoir;
 pub mod tasks;
 pub mod train;
 
+pub use digital::DigitalReservoir;
 pub use error::{QrcError, Result};
 pub use esn::{EchoStateNetwork, EsnParams};
-pub use pipeline::{evaluate_esn, evaluate_quantum, evaluate_quantum_with_shots, Evaluation};
+pub use pipeline::{
+    evaluate_esn, evaluate_quantum, evaluate_quantum_digital, evaluate_quantum_with_shots,
+    Evaluation,
+};
 pub use reservoir::{QuantumReservoir, ReservoirParams};
 pub use tasks::{
     mackey_glass, memory_task, narma, nmse, sine_square_classification, TimeSeriesTask,

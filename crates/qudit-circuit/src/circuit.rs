@@ -217,6 +217,43 @@ impl Circuit {
         Ok(())
     }
 
+    /// Number of parameters a binding for this circuit must supply: one more
+    /// than the largest [`crate::gate::Param::Free`] index carried by any
+    /// gate, or zero for a fully bound circuit.
+    pub fn num_params(&self) -> usize {
+        self.instructions
+            .iter()
+            .filter_map(|inst| match inst {
+                Instruction::Unitary { gate, .. } => gate.free_param(),
+                _ => None,
+            })
+            .max()
+            .map_or(0, |idx| idx + 1)
+    }
+
+    /// Returns the circuit with every free gate parameter bound to the value
+    /// `params` supplies (see [`crate::gate::Gate::bound`]); the structure —
+    /// instructions, targets, measurements, channels — is unchanged.
+    ///
+    /// Running `compile(circuit.with_bound(θ))` is equivalent to compiling
+    /// the parameterized circuit once and rebinding the plan in place with
+    /// `CompiledCircuit::bind(θ)`; the latter skips recompilation.
+    ///
+    /// # Errors
+    /// Returns an error if `params` is shorter than [`Circuit::num_params`].
+    pub fn with_bound(&self, params: &[f64]) -> Result<Circuit> {
+        let mut instructions = Vec::with_capacity(self.instructions.len());
+        for inst in &self.instructions {
+            instructions.push(match inst {
+                Instruction::Unitary { gate, targets } => {
+                    Instruction::Unitary { gate: gate.bound(params)?, targets: targets.clone() }
+                }
+                other => other.clone(),
+            });
+        }
+        Ok(Circuit { radix: self.radix.clone(), instructions })
+    }
+
     /// Number of unitary gate instructions.
     pub fn gate_count(&self) -> usize {
         self.instructions.iter().filter(|i| matches!(i, Instruction::Unitary { .. })).count()
@@ -269,11 +306,18 @@ impl Circuit {
     }
 
     /// Builds the full unitary of the circuit (requires a purely unitary
-    /// circuit: no measurements, resets or channels).
+    /// circuit: no measurements, resets or channels, and no unbound free
+    /// parameters — bind them first with [`Circuit::with_bound`]).
     ///
     /// # Errors
-    /// Returns [`CircuitError::Unsupported`] for non-unitary instructions.
+    /// Returns [`CircuitError::Unsupported`] for non-unitary instructions or
+    /// unbound parameters.
     pub fn unitary(&self) -> Result<CMatrix> {
+        if self.num_params() > 0 {
+            return Err(CircuitError::Unsupported(
+                "circuit carries free parameters; bind them with with_bound first".into(),
+            ));
+        }
         let mut u = CMatrix::identity(self.total_dim());
         for inst in &self.instructions {
             match inst {
@@ -409,6 +453,27 @@ mod tests {
         let ch2 = KrausChannel::photon_loss(4, 0.1).unwrap();
         assert!(c.push_channel(ch2, &[0]).is_err());
         assert!(c.unitary().is_err());
+    }
+
+    #[test]
+    fn parameterized_circuits_bind_and_guard_unitary() {
+        use crate::gate::Param;
+        let mut c = Circuit::uniform(2, 3);
+        c.push(Gate::fourier(3), &[0]).unwrap();
+        let sep = Gate::parameterized(
+            "sep",
+            vec![3],
+            &qudit_core::matrix::CMatrix::diag_real(&[0.0, 1.0, 2.0]),
+            Param::Free(1),
+        )
+        .unwrap();
+        c.push(sep, &[1]).unwrap();
+        assert_eq!(c.num_params(), 2);
+        assert!(c.unitary().is_err(), "free parameters must block unitary()");
+        let bound = c.with_bound(&[0.0, 0.4]).unwrap();
+        assert_eq!(bound.num_params(), 0);
+        assert!(bound.unitary().is_ok());
+        assert!(c.with_bound(&[0.1]).is_err(), "short bindings rejected");
     }
 
     #[test]

@@ -123,20 +123,28 @@ pub fn phase_on_level(d: usize, level: usize, theta: f64) -> CMatrix {
     snap(d, &phases)
 }
 
-/// Qudit "X mixer" generator `Σ_k (|k⟩⟨k+1| + h.c.)` exponentiated:
-/// `exp(−i β H_mix)`. Used as the QAOA mixing operator for one-hot qudit
-/// encodings.
-pub fn x_mixer(d: usize, beta: f64) -> CMatrix {
+/// The qudit "X mixer" Hamiltonian `Σ_k (|k⟩⟨k+1| + h.c.)` — the generator
+/// of [`x_mixer`], exposed for parameterized-gate construction
+/// ([`crate::Gate::parameterized`]).
+pub fn x_mixer_generator(d: usize) -> CMatrix {
     let mut h = CMatrix::zeros(d, d);
     for k in 0..d - 1 {
         h[(k, k + 1)] = Complex64::ONE;
         h[(k + 1, k)] = Complex64::ONE;
     }
-    expm_hermitian(&h, c64(0.0, -beta)).expect("Hermitian generator")
+    h
 }
 
-/// Fully-connected qudit mixer `exp(−i β Σ_{j<k} (|j⟩⟨k| + h.c.))`.
-pub fn full_mixer(d: usize, beta: f64) -> CMatrix {
+/// Qudit "X mixer" generator `Σ_k (|k⟩⟨k+1| + h.c.)` exponentiated:
+/// `exp(−i β H_mix)`. Used as the QAOA mixing operator for one-hot qudit
+/// encodings.
+pub fn x_mixer(d: usize, beta: f64) -> CMatrix {
+    expm_hermitian(&x_mixer_generator(d), c64(0.0, -beta)).expect("Hermitian generator")
+}
+
+/// The fully-connected mixer Hamiltonian `Σ_{j<k} (|j⟩⟨k| + h.c.)` — the
+/// generator of [`full_mixer`], exposed for parameterized-gate construction.
+pub fn full_mixer_generator(d: usize) -> CMatrix {
     let mut h = CMatrix::zeros(d, d);
     for j in 0..d {
         for k in (j + 1)..d {
@@ -144,7 +152,12 @@ pub fn full_mixer(d: usize, beta: f64) -> CMatrix {
             h[(k, j)] = Complex64::ONE;
         }
     }
-    expm_hermitian(&h, c64(0.0, -beta)).expect("Hermitian generator")
+    h
+}
+
+/// Fully-connected qudit mixer `exp(−i β Σ_{j<k} (|j⟩⟨k| + h.c.))`.
+pub fn full_mixer(d: usize, beta: f64) -> CMatrix {
+    expm_hermitian(&full_mixer_generator(d), c64(0.0, -beta)).expect("Hermitian generator")
 }
 
 /// Diagonal qudit phase gate `exp(−i γ diag(w_0, ..., w_{d-1}))`, the phase

@@ -66,7 +66,7 @@ pub mod sim;
 
 pub use circuit::{Circuit, Instruction};
 pub use error::{CircuitError, Result};
-pub use gate::Gate;
+pub use gate::{Gate, Param};
 pub use noise::{KrausChannel, NoiseKind, NoiseModel};
 pub use observable::{Observable, ObservableTerm};
 
@@ -74,7 +74,7 @@ pub use observable::{Observable, ObservableTerm};
 pub mod prelude {
     pub use crate::circuit::{Circuit, Instruction};
     pub use crate::error::{CircuitError, Result};
-    pub use crate::gate::Gate;
+    pub use crate::gate::{Gate, Param};
     pub use crate::noise::{KrausChannel, NoiseKind, NoiseModel};
     pub use crate::observable::Observable;
     pub use crate::sim::{DensityMatrixSimulator, StatevectorSimulator, TrajectorySimulator};

@@ -59,6 +59,54 @@ impl CompiledDensityCircuit {
     pub fn dims(&self) -> &[usize] {
         &self.kernels.dims
     }
+
+    /// Number of parameters a binding must supply
+    /// ([`crate::Circuit::num_params`] of the source circuit).
+    pub fn num_params(&self) -> usize {
+        self.kernels.num_params
+    }
+
+    /// Re-materialises the parameter-dependent density steps at the given
+    /// binding, **in place**: sandwich steps re-realize their unitary,
+    /// superoperator sweeps re-compose their recorded constituents. The
+    /// folding topology, stride plans and step order are parameter-invariant
+    /// and untouched, so rebinding skips the whole density compilation.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use qudit_circuit::gate::Param;
+    /// use qudit_circuit::noise::NoiseModel;
+    /// use qudit_circuit::sim::DensityMatrixSimulator;
+    /// use qudit_circuit::{Circuit, Gate};
+    /// use qudit_core::matrix::CMatrix;
+    ///
+    /// let mut c = Circuit::uniform(1, 3);
+    /// let phase = Gate::parameterized(
+    ///     "sep",
+    ///     vec![3],
+    ///     &CMatrix::diag_real(&[0.0, 1.0, 2.0]),
+    ///     Param::Free(0),
+    /// )
+    /// .unwrap();
+    /// c.push(Gate::fourier(3), &[0]).unwrap();
+    /// c.push(phase, &[0]).unwrap();
+    ///
+    /// let sim = DensityMatrixSimulator::new().with_noise(NoiseModel::depolarizing(1e-3, 0.0));
+    /// let mut plan = sim.compile(&c).unwrap();
+    /// for theta in [0.2, 0.9] {
+    ///     let swept = sim.run_bound(&mut plan, &[theta]).unwrap();
+    ///     let rebuilt = sim.run(&c.with_bound(&[theta]).unwrap()).unwrap();
+    ///     assert!((swept.matrix() - rebuilt.matrix()).max_abs() < 1e-12);
+    /// }
+    /// ```
+    ///
+    /// # Errors
+    /// Returns an error if `params` supplies fewer than
+    /// [`CompiledDensityCircuit::num_params`] values.
+    pub fn bind(&mut self, params: &[f64]) -> Result<()> {
+        self.kernels.bind(params)
+    }
 }
 
 /// A density-matrix simulator with an attached [`NoiseModel`].
@@ -96,6 +144,7 @@ pub struct DensityMatrixSimulator {
     seed: u64,
     fusion: FusionConfig,
     superop: SuperopConfig,
+    threads: usize,
 }
 
 impl DensityMatrixSimulator {
@@ -106,6 +155,7 @@ impl DensityMatrixSimulator {
             seed: 0xDEC0DE,
             fusion: FusionConfig::default(),
             superop: SuperopConfig::default(),
+            threads: 0,
         }
     }
 
@@ -142,9 +192,27 @@ impl DensityMatrixSimulator {
         self
     }
 
+    /// Sets the worker-thread count for superoperator sweeps (`0` =
+    /// automatic): each sweep's independent doubled-register blocks are
+    /// chunked across [`qudit_core::par`] pool workers. Results are bitwise
+    /// identical for every thread count.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
     /// The attached noise model.
     pub fn noise(&self) -> &NoiseModel {
         &self.noise
+    }
+
+    fn resolved_threads(&self) -> usize {
+        if self.threads == 0 {
+            qudit_core::par::max_threads()
+        } else {
+            self.threads
+        }
     }
 
     /// Compiles a circuit into its reusable density execution plan: the
@@ -182,13 +250,7 @@ impl DensityMatrixSimulator {
         compiled: &CompiledDensityCircuit,
         initial: &DensityMatrix,
     ) -> Result<DensityMatrix> {
-        if compiled.noise != self.noise {
-            return Err(CircuitError::Unsupported(
-                "compiled circuit was built under a different noise model; recompile with \
-                 this simulator's model"
-                    .into(),
-            ));
-        }
+        self.check_noise(compiled)?;
         if initial.radix().dims() != compiled.kernels.dims {
             return Err(CircuitError::InvalidTargets(format!(
                 "initial state register {:?} does not match circuit register {:?}",
@@ -198,10 +260,15 @@ impl DensityMatrixSimulator {
         }
         let mut rho = initial.clone();
         let mut scratch = Vec::new();
+        let threads = self.resolved_threads();
         for step in &compiled.kernels.steps {
             match step {
                 DensityStep::Unitary { plan, kind, op } => {
                     rho.apply_unitary_prepared(plan, kind, op, &mut scratch)
+                        .map_err(CircuitError::Core)?;
+                }
+                DensityStep::Super { plan, kind, sup } if threads > 1 => {
+                    rho.apply_superop_prepared_threads(plan, kind, sup, threads)
                         .map_err(CircuitError::Core)?;
                 }
                 DensityStep::Super { plan, kind, sup } => {
@@ -220,6 +287,33 @@ impl DensityMatrixSimulator {
             }
         }
         Ok(rho)
+    }
+
+    /// Rebinds a compiled density plan to `params` and runs it from
+    /// `|0...0⟩⟨0...0|` (see [`CompiledDensityCircuit::bind`]).
+    ///
+    /// # Errors
+    /// Returns an error for a short binding or invalid dimensions.
+    pub fn run_bound(
+        &self,
+        compiled: &mut CompiledDensityCircuit,
+        params: &[f64],
+    ) -> Result<DensityMatrix> {
+        // Validate before binding so a failed call leaves the plan untouched.
+        self.check_noise(compiled)?;
+        compiled.bind(params)?;
+        self.run_compiled(compiled)
+    }
+
+    fn check_noise(&self, compiled: &CompiledDensityCircuit) -> Result<()> {
+        if compiled.noise != self.noise {
+            return Err(CircuitError::Unsupported(
+                "compiled circuit was built under a different noise model; recompile with \
+                 this simulator's model"
+                    .into(),
+            ));
+        }
+        Ok(())
     }
 
     /// Runs the circuit from `|0...0⟩⟨0...0|`.

@@ -72,7 +72,7 @@
 use qudit_core::matrix::CMatrix;
 
 use crate::circuit::{Circuit, Instruction};
-use crate::error::{CircuitError, Result};
+use crate::error::Result;
 
 /// Configuration of the gate-fusion pass (see the module docs).
 ///
@@ -192,14 +192,24 @@ pub struct FusionStats {
 }
 
 /// One element of the fused execution order.
+///
+/// The fusion pass is purely **structural** since PR 5: a block records
+/// *which* gate instructions it absorbed, and the block operator itself is
+/// materialised by the kernel compiler ([`crate::sim::kernels`]) — the same
+/// code path that re-materialises parameter-dependent blocks when a compiled
+/// plan is rebound, so compiling a bound circuit and rebinding a compiled
+/// parameterized circuit produce bitwise-identical operators.
 #[derive(Debug, Clone)]
 pub(crate) enum FusedInst {
     /// A (possibly multi-gate) unitary block over `targets` (ascending).
     Block {
         /// Sorted support.
         targets: Vec<usize>,
-        /// Operator over the support, indexed in `targets` order.
-        matrix: CMatrix,
+        /// Instruction indices of the absorbed gates, in program order. The
+        /// block operator is the product of the member gates embedded into
+        /// `targets`, multiplied in this order (disjoint-support members
+        /// commute, so program order is a valid application order).
+        gates: Vec<usize>,
     },
     /// A unitary instruction emitted verbatim (it carries noise channels, or
     /// fusion is disabled); `index` refers to the circuit instruction list.
@@ -212,8 +222,8 @@ pub(crate) enum FusedInst {
 struct OpenBlock {
     targets: Vec<usize>,
     sub_dim: usize,
-    matrix: CMatrix,
-    gates: usize,
+    /// Absorbed instruction indices, ascending (= program order).
+    gates: Vec<usize>,
 }
 
 /// Runs the fusion pass over `circuit`.
@@ -247,10 +257,10 @@ pub(crate) fn fuse(
         }
         stats.unitary_steps_out += 1;
         stats.max_block_dim = stats.max_block_dim.max(block.sub_dim);
-        if block.gates >= 2 {
+        if block.gates.len() >= 2 {
             stats.multi_gate_blocks += 1;
         }
-        out.push(FusedInst::Block { targets: block.targets, matrix: block.matrix });
+        out.push(FusedInst::Block { targets: block.targets, gates: block.gates });
     };
     let flush_all = |open: &mut Vec<Option<OpenBlock>>,
                      wire: &mut Vec<Option<usize>>,
@@ -354,38 +364,24 @@ pub(crate) fn fuse(
                         }
                     }
                     if !accepted.is_empty() {
-                        let union_dims: Vec<usize> = union.iter().map(|&t| dims[t]).collect();
-                        let mut acc: Option<CMatrix> = None;
-                        let mut gates = 1usize;
+                        // Absorb the accepted blocks' members plus this gate;
+                        // sorting restores program order (disjoint supports
+                        // commute, so program order is a valid application
+                        // order for the eventual block product).
+                        let mut gates = vec![index];
                         for &s in &accepted {
                             let block = open[s].take().expect("live slot");
                             for &t in &block.targets {
                                 wire[t] = None;
                             }
-                            gates += block.gates;
-                            let embedded =
-                                embed_to(&union, &union_dims, &block.targets, &block.matrix)?;
-                            acc = Some(match acc {
-                                // Disjoint supports: the factors commute
-                                // exactly, so the product order is free.
-                                Some(prev) => embedded.matmul(&prev).map_err(CircuitError::Core)?,
-                                None => embedded,
-                            });
+                            gates.extend(block.gates);
                         }
-                        let gate_embedded = embed_to(&union, &union_dims, targets, gate.matrix())?;
-                        let matrix = gate_embedded
-                            .matmul(&acc.expect("at least one block merged"))
-                            .map_err(CircuitError::Core)?;
+                        gates.sort_unstable();
                         let slot = open.len();
                         for &t in &union {
                             wire[t] = Some(slot);
                         }
-                        open.push(Some(OpenBlock {
-                            targets: union,
-                            sub_dim: union_dim,
-                            matrix,
-                            gates,
-                        }));
+                        open.push(Some(OpenBlock { targets: union, sub_dim: union_dim, gates }));
                         continue;
                     }
                 }
@@ -395,18 +391,12 @@ pub(crate) fn fuse(
                 // budget still becomes its own (single-gate) block.
                 let mut sorted = targets.clone();
                 sorted.sort_unstable();
-                let matrix = if sorted == *targets {
-                    gate.matrix().clone()
-                } else {
-                    let sorted_dims: Vec<usize> = sorted.iter().map(|&t| dims[t]).collect();
-                    embed_to(&sorted, &sorted_dims, targets, gate.matrix())?
-                };
-                let sub_dim = matrix.rows();
+                let sub_dim = gate.matrix().rows();
                 let slot = open.len();
                 for &t in &sorted {
                     wire[t] = Some(slot);
                 }
-                open.push(Some(OpenBlock { targets: sorted, sub_dim, matrix, gates: 1 }));
+                open.push(Some(OpenBlock { targets: sorted, sub_dim, gates: vec![index] }));
             }
             Instruction::Unitary { targets, .. } => {
                 // A noisy gate (or fusion disabled): it executes verbatim,
@@ -524,6 +514,21 @@ mod tests {
         fuse(c, &fusable, true, config).unwrap()
     }
 
+    /// OpKind of the first compiled apply step (the fused block's operator is
+    /// materialised by the kernel compiler since PR 5).
+    fn first_step_kind(c: &Circuit) -> OpKind {
+        let kernels = crate::sim::kernels::CircuitKernels::with_config(
+            c,
+            &crate::noise::NoiseModel::noiseless(),
+            &FusionConfig::default(),
+        )
+        .unwrap();
+        let crate::sim::kernels::ExecStep::Apply { kind, .. } = &kernels.steps[0] else {
+            panic!("expected an apply step");
+        };
+        kind.clone()
+    }
+
     #[test]
     fn same_support_run_becomes_one_block() {
         let mut c = Circuit::uniform(2, 3);
@@ -536,15 +541,9 @@ mod tests {
         assert_eq!(stats.unitary_steps_out, 1);
         assert_eq!(stats.multi_gate_blocks, 1);
         match &plan[0] {
-            FusedInst::Block { targets, matrix } => {
+            FusedInst::Block { targets, gates } => {
                 assert_eq!(targets, &[0]);
-                // X · Z · F, same product as sequential application.
-                let expected = qudit_core::matrix::CMatrix::matmul(
-                    &crate::gates::shift_x(3),
-                    &crate::gates::clock_z(3).matmul(&crate::gates::fourier(3)).unwrap(),
-                )
-                .unwrap();
-                assert!((matrix - &expected).max_abs() < 1e-12);
+                assert_eq!(gates, &[0, 1, 2], "members recorded in program order");
             }
             other => panic!("expected block, got {other:?}"),
         }
@@ -557,8 +556,7 @@ mod tests {
         c.push(Gate::snap(4, &[0.1, 0.2, 0.3, 0.4]), &[0]).unwrap();
         let (plan, _) = fuse_simple(&c, &FusionConfig::default());
         assert_eq!(plan.len(), 1);
-        let FusedInst::Block { matrix, .. } = &plan[0] else { panic!("expected block") };
-        assert!(matches!(OpKind::classify(matrix), OpKind::Diagonal(_)));
+        assert!(matches!(first_step_kind(&c), OpKind::Diagonal(_)));
     }
 
     #[test]
@@ -568,8 +566,7 @@ mod tests {
         c.push(Gate::weyl(4, 2, 1), &[0]).unwrap();
         let (plan, _) = fuse_simple(&c, &FusionConfig::default());
         assert_eq!(plan.len(), 1);
-        let FusedInst::Block { matrix, .. } = &plan[0] else { panic!("expected block") };
-        assert!(matches!(OpKind::classify(matrix), OpKind::Monomial { .. }));
+        assert!(matches!(first_step_kind(&c), OpKind::Monomial { .. }));
     }
 
     #[test]
@@ -632,12 +629,24 @@ mod tests {
         let mut c = Circuit::uniform(2, 3);
         c.push(Gate::csum(3, 3), &[1, 0]).unwrap();
         let (plan, _) = fuse_simple(&c, &FusionConfig::default());
-        let FusedInst::Block { targets, matrix } = &plan[0] else { panic!("expected block") };
+        let FusedInst::Block { targets, gates } = &plan[0] else { panic!("expected block") };
         assert_eq!(targets, &[0, 1]);
+        assert_eq!(gates, &[0]);
+        // The compiled operator (materialised by the kernel compiler) embeds
+        // the unsorted-target gate into the ascending support.
+        let kernels = crate::sim::kernels::CircuitKernels::with_config(
+            &c,
+            &crate::noise::NoiseModel::noiseless(),
+            &FusionConfig::default(),
+        )
+        .unwrap();
+        let crate::sim::kernels::ExecStep::Apply { op, .. } = &kernels.steps[0] else {
+            panic!("expected an apply step");
+        };
         let expected =
             qudit_core::radix::embed_operator(c.radix(), &crate::gates::csum(3, 3), &[1, 0])
                 .unwrap();
-        let got = qudit_core::radix::embed_operator(c.radix(), matrix, &[0, 1]).unwrap();
+        let got = qudit_core::radix::embed_operator(c.radix(), op, &[0, 1]).unwrap();
         assert!((&got - &expected).max_abs() < 1e-12);
     }
 
@@ -653,10 +662,9 @@ mod tests {
         let (plan, stats) = fuse_simple(&c, &FusionConfig::default());
         assert_eq!(plan.len(), 2);
         assert!(matches!(plan[0], FusedInst::Passthrough { index: 1 }));
-        let FusedInst::Block { targets, matrix } = &plan[1] else { panic!("expected block") };
+        let FusedInst::Block { targets, gates } = &plan[1] else { panic!("expected block") };
         assert_eq!(targets, &[0]);
-        let expected = crate::gates::clock_z(3).matmul(&crate::gates::fourier(3)).unwrap();
-        assert!((matrix - &expected).max_abs() < 1e-12);
+        assert_eq!(gates, &[0, 2], "the run fuses straight through the readout");
         assert_eq!(stats.unitary_steps_out, 1);
         assert_eq!(stats.multi_gate_blocks, 1);
         assert_eq!(stats.barrier_crossings, 1);

@@ -24,14 +24,114 @@
 //! superoperator blocks it touches, and idle-loss barrier channels flush
 //! (or absorb into) exactly the per-qudit blocks of the wires they decay.
 
-use qudit_core::apply::{ApplyPlan, OpKind};
+use qudit_core::apply::{matmul_structured, ApplyPlan, OpKind};
 use qudit_core::matrix::CMatrix;
 use qudit_core::Complex64;
 
 use crate::circuit::{Circuit, Instruction};
 use crate::error::{CircuitError, Result};
+use crate::gate::Gate;
 use crate::noise::{KrausChannel, NoiseModel};
-use crate::sim::fusion::{fuse, FusedInst, FusionConfig, FusionStats};
+use crate::sim::fusion::{embed_to, fuse, FusedInst, FusionConfig, FusionStats};
+
+/// How to (re-)materialise one apply step's operator under a parameter
+/// binding: the constituent gates in program order plus the support the
+/// operator is indexed in. The **same** realization path runs at compile
+/// time and at `bind` time, so compiling a bound circuit and rebinding a
+/// compiled parameterized circuit produce bitwise-identical operators (and
+/// therefore bitwise-identical sampling streams).
+#[derive(Debug, Clone)]
+pub(crate) struct OpRecipe {
+    /// Constituents, program order.
+    parts: Vec<RecipePart>,
+    /// Support the realized operator is indexed in: ascending for fused
+    /// blocks, the gate's own target order for verbatim gates.
+    pub(crate) targets: Vec<usize>,
+    /// Per-target dimensions of `targets`.
+    dims: Vec<usize>,
+}
+
+/// One constituent of an [`OpRecipe`]. Binding-independent constituents are
+/// embedded into the recipe's support once, at compile time; only free
+/// constituents are re-realized and re-embedded per binding.
+#[derive(Debug, Clone)]
+enum RecipePart {
+    /// Pre-embedded constant operator.
+    Const(CMatrix),
+    /// Free-parameter gate, realized per binding.
+    Free { gate: Gate, targets: Vec<usize> },
+}
+
+impl OpRecipe {
+    pub(crate) fn new(
+        parts: Vec<(Gate, Vec<usize>)>,
+        targets: Vec<usize>,
+        dims: &[usize],
+    ) -> Result<Self> {
+        let target_dims: Vec<usize> = targets.iter().map(|&t| dims[t]).collect();
+        let parts = parts
+            .into_iter()
+            .map(|(gate, gate_targets)| {
+                if gate.free_param().is_some() {
+                    Ok(RecipePart::Free { gate, targets: gate_targets })
+                } else {
+                    Ok(RecipePart::Const(embed_to(
+                        &targets,
+                        &target_dims,
+                        &gate_targets,
+                        gate.matrix(),
+                    )?))
+                }
+            })
+            .collect::<Result<Vec<_>>>()?;
+        Ok(Self { parts, targets, dims: target_dims })
+    }
+
+    /// `true` if any constituent carries a free parameter (i.e. the operator
+    /// must be re-materialised on rebind).
+    pub(crate) fn has_free(&self) -> bool {
+        self.parts.iter().any(|p| matches!(p, RecipePart::Free { .. }))
+    }
+
+    /// `true` if the realized operator is diagonal at **every** binding:
+    /// each free constituent has a diagonal generator and each constant
+    /// constituent is diagonal.
+    pub(crate) fn diagonal_for_all_bindings(&self) -> bool {
+        self.parts.iter().all(|p| match p {
+            RecipePart::Const(m) => matches!(OpKind::classify(m), OpKind::Diagonal(_)),
+            RecipePart::Free { gate, .. } => gate.has_diagonal_generator(),
+        })
+    }
+
+    /// Materialises the operator at the given binding: each free constituent
+    /// is realized ([`Gate::bound_matrix`]) and embedded into the recipe's
+    /// support, then all constituents multiply in program order (structured
+    /// factors compose without a dense matmul, see [`matmul_structured`]).
+    pub(crate) fn realize(&self, params: &[f64]) -> Result<CMatrix> {
+        // Constant parts are multiplied by reference — only a recipe whose
+        // first part is constant pays one clone (the accumulator seed).
+        let mut acc: Option<CMatrix> = None;
+        for part in &self.parts {
+            acc = Some(match (part, acc) {
+                (RecipePart::Const(m), None) => m.clone(),
+                (RecipePart::Const(m), Some(prev)) => {
+                    matmul_structured(m, &prev).map_err(CircuitError::Core)?
+                }
+                (RecipePart::Free { gate, targets }, acc) => {
+                    let embedded =
+                        embed_to(&self.targets, &self.dims, targets, &gate.bound_matrix(params)?)?;
+                    match acc {
+                        None => embedded,
+                        Some(prev) => {
+                            matmul_structured(&embedded, &prev).map_err(CircuitError::Core)?
+                        }
+                    }
+                }
+            });
+        }
+        acc.ok_or_else(|| CircuitError::InvalidGate("empty operator recipe".into()))
+    }
+}
 
 /// A Kraus channel with its application geometry precomputed.
 #[derive(Debug, Clone)]
@@ -64,13 +164,16 @@ pub(crate) enum ExecStep {
     /// Apply a (possibly fused) unitary operator, then the noise channels the
     /// model inserts after it. `targets` is the operator's support (in
     /// operator index order), kept for the density compiler's superoperator
-    /// folding pass.
+    /// folding pass. `recipe` is present iff the operator depends on a free
+    /// parameter; [`CircuitKernels::bind`] re-materialises exactly those
+    /// steps.
     Apply {
         targets: Vec<usize>,
         plan: ApplyPlan,
         kind: OpKind,
         op: CMatrix,
         noise: Vec<ChannelKernel>,
+        recipe: Option<OpRecipe>,
     },
     /// An explicit channel instruction.
     Channel(ChannelKernel),
@@ -94,6 +197,10 @@ pub(crate) struct CircuitKernels {
     pub barrier_loss: Vec<ChannelKernel>,
     /// What the fusion pass did.
     pub stats: FusionStats,
+    /// Parameters a binding must supply (`Circuit::num_params` of the source
+    /// circuit). A plan compiled from a parameterized circuit starts out
+    /// bound at all-zero parameters.
+    pub num_params: usize,
 }
 
 impl CircuitKernels {
@@ -136,13 +243,32 @@ impl CircuitKernels {
 
         let (fused, stats) = fuse(circuit, &fusable, !lossy_barriers, config)?;
 
+        // Operators are materialised through the recipe path even at compile
+        // time, so a later in-place rebind reproduces them bitwise. A plan
+        // compiled from a parameterized circuit starts bound at zeros.
+        let num_params = circuit.num_params();
+        let zeros = vec![0.0f64; num_params];
+
         let mut steps = Vec::with_capacity(fused.len());
         for item in fused {
             steps.push(match item {
-                FusedInst::Block { targets, matrix } => {
+                FusedInst::Block { targets, gates } => {
                     let plan = ApplyPlan::new(radix, &targets).map_err(CircuitError::Core)?;
-                    let kind = OpKind::classify(&matrix);
-                    ExecStep::Apply { targets, plan, kind, op: matrix, noise: Vec::new() }
+                    let parts: Vec<(Gate, Vec<usize>)> = gates
+                        .iter()
+                        .map(|&i| {
+                            let Instruction::Unitary { gate, targets } = &circuit.instructions()[i]
+                            else {
+                                unreachable!("fused blocks only absorb unitaries")
+                            };
+                            (gate.clone(), targets.clone())
+                        })
+                        .collect();
+                    let recipe = OpRecipe::new(parts, targets.clone(), dims)?;
+                    let op = recipe.realize(&zeros)?;
+                    let kind = OpKind::classify(&op);
+                    let recipe = recipe.has_free().then_some(recipe);
+                    ExecStep::Apply { targets, plan, kind, op, noise: Vec::new(), recipe }
                 }
                 FusedInst::Gate { index } => {
                     let Instruction::Unitary { gate, targets } = &circuit.instructions()[index]
@@ -150,19 +276,32 @@ impl CircuitKernels {
                         unreachable!("fusion pass only tags unitaries as gates")
                     };
                     let plan = ApplyPlan::new(radix, targets).map_err(CircuitError::Core)?;
-                    let kind = OpKind::classify(gate.matrix());
+                    let op = gate.bound_matrix(&zeros)?;
+                    let kind = OpKind::classify(&op);
                     let noise_channels = gate_noise[index]
                         .take()
                         .expect("unitary instructions carry a channel list")
                         .into_iter()
                         .map(|(channel, qudit)| ChannelKernel::new(radix, channel, vec![qudit]))
                         .collect::<Result<Vec<_>>>()?;
+                    let recipe = gate
+                        .free_param()
+                        .is_some()
+                        .then(|| {
+                            OpRecipe::new(
+                                vec![(gate.clone(), targets.clone())],
+                                targets.clone(),
+                                dims,
+                            )
+                        })
+                        .transpose()?;
                     ExecStep::Apply {
                         targets: targets.clone(),
                         plan,
                         kind,
-                        op: gate.matrix().clone(),
+                        op,
                         noise: noise_channels,
+                        recipe,
                     }
                 }
                 FusedInst::Passthrough { index } => match &circuit.instructions()[index] {
@@ -180,7 +319,32 @@ impl CircuitKernels {
                 },
             });
         }
-        Ok(Self { dims: dims.to_vec(), steps, barrier_loss, stats })
+        Ok(Self { dims: dims.to_vec(), steps, barrier_loss, stats, num_params })
+    }
+
+    /// Re-materialises the operators (and exact [`OpKind`] classifications)
+    /// of every parameter-dependent apply step at the given binding, in
+    /// place. The plan topology — fusion decisions, stride plans, step order,
+    /// noise channels — is parameter-invariant and untouched.
+    ///
+    /// # Errors
+    /// Returns an error if `params` supplies fewer than
+    /// [`CircuitKernels::num_params`] values.
+    pub(crate) fn bind(&mut self, params: &[f64]) -> Result<()> {
+        if params.len() < self.num_params {
+            return Err(CircuitError::InvalidGate(format!(
+                "binding supplies {} parameters but the plan needs {}",
+                params.len(),
+                self.num_params
+            )));
+        }
+        for step in &mut self.steps {
+            if let ExecStep::Apply { op, kind, recipe: Some(recipe), .. } = step {
+                *op = recipe.realize(params)?;
+                *kind = OpKind::classify(op);
+            }
+        }
+        Ok(())
     }
 }
 
@@ -199,8 +363,6 @@ pub(crate) struct RunScratch {
 
 use qudit_core::superop::SuperPlan;
 use qudit_core::Radix;
-
-use crate::sim::fusion::embed_to;
 
 /// Configuration of the density-matrix simulator's superoperator batching
 /// (see [`crate::sim::DensityMatrixSimulator::with_superop`]).
@@ -270,6 +432,48 @@ pub(crate) enum DensityStep {
     Kraus(ChannelKernel),
 }
 
+/// One constituent of a rebindable superoperator sweep: either a constant
+/// superoperator (channel, measurement dephasing, reset, idle loss, or a
+/// bound unitary's `U ⊗ conj(U)`) or a parameter-dependent unitary whose
+/// superoperator is re-derived from its [`OpRecipe`] at every binding.
+#[derive(Debug, Clone)]
+pub(crate) enum SuperPart {
+    /// Binding-independent superoperator, **pre-embedded** into the sweep's
+    /// doubled union support at compile time so rebinds never re-embed it.
+    Const { sup: CMatrix },
+    /// Parameter-dependent unitary; its superoperator is
+    /// `U(θ) ⊗ conj(U(θ))` with `U(θ)` realized by the recipe, embedded per
+    /// binding.
+    Parametric { recipe: OpRecipe },
+}
+
+/// Embeds a superoperator over `from` targets into the doubled union support
+/// `union ∪ (union + n)` of a register with the given dims.
+fn embed_super(sup: &CMatrix, from: &[usize], union: &[usize], dims: &[usize]) -> Result<CMatrix> {
+    let n = dims.len();
+    let doubled = |ts: &[usize]| -> Vec<usize> {
+        let mut d = Vec::with_capacity(2 * ts.len());
+        d.extend_from_slice(ts);
+        d.extend(ts.iter().map(|&t| t + n));
+        d
+    };
+    let union_doubled_dims: Vec<usize> = {
+        let u: Vec<usize> = union.iter().map(|&t| dims[t]).collect();
+        u.iter().chain(u.iter()).copied().collect()
+    };
+    embed_to(&doubled(union), &union_doubled_dims, &doubled(from), sup)
+}
+
+/// How to re-materialise one parameter-dependent density step on rebind.
+#[derive(Debug, Clone)]
+pub(crate) enum DensityRecipe {
+    /// A sandwich step: re-realize the unitary.
+    Sandwich { step: usize, recipe: OpRecipe },
+    /// A superoperator sweep: re-compose the (embedded) part superoperators
+    /// over the sweep's ascending union support.
+    Super { step: usize, parts: Vec<SuperPart>, targets: Vec<usize> },
+}
+
 /// The compiled density execution plan (see [`DensityStep`]).
 #[derive(Debug, Clone)]
 pub(crate) struct DensityKernels {
@@ -279,6 +483,49 @@ pub(crate) struct DensityKernels {
     pub fusion_stats: FusionStats,
     /// What the superoperator compiler did.
     pub stats: SuperopStats,
+    /// Re-materialisation recipes for the parameter-dependent steps.
+    pub rebind: Vec<DensityRecipe>,
+    /// Parameters a binding must supply.
+    pub num_params: usize,
+}
+
+/// Composes the superoperator of a sweep from its parts: each part's
+/// superoperator is embedded into the doubled union support and multiplied in
+/// program order (structured factors short-circuit the dense matmul). Shared
+/// verbatim by compile and rebind, so re-binding reproduces the compiled
+/// composition bitwise.
+fn compose_super_parts(
+    parts: &[SuperPart],
+    params: &[f64],
+    union: &[usize],
+    dims: &[usize],
+) -> Result<CMatrix> {
+    // Constant (pre-embedded) parts multiply by reference; only a sweep whose
+    // first part is constant pays one clone (the accumulator seed).
+    let mut acc: Option<CMatrix> = None;
+    for part in parts {
+        acc = Some(match (part, acc) {
+            (SuperPart::Const { sup }, None) => sup.clone(),
+            (SuperPart::Const { sup }, Some(prev)) => {
+                matmul_structured(sup, &prev).map_err(CircuitError::Core)?
+            }
+            (SuperPart::Parametric { recipe }, acc) => {
+                let embedded = embed_super(
+                    &SuperPlan::unitary_superop(&recipe.realize(params)?),
+                    &recipe.targets,
+                    union,
+                    dims,
+                )?;
+                match acc {
+                    None => embedded,
+                    Some(prev) => {
+                        matmul_structured(&embedded, &prev).map_err(CircuitError::Core)?
+                    }
+                }
+            }
+        });
+    }
+    acc.ok_or_else(|| CircuitError::InvalidGate("empty superoperator composition".into()))
 }
 
 /// Structure class of an operator or superoperator, used by the density
@@ -326,42 +573,36 @@ impl Structure {
 /// A constituent operation the density compiler folds over.
 enum DensityItem {
     /// A deterministic map (gate, fused block, or single-operator channel).
-    Unitary { targets: Vec<usize>, plan: ApplyPlan, kind: OpKind, op: CMatrix },
+    /// `recipe` is present iff the operator depends on a free parameter.
+    Unitary {
+        targets: Vec<usize>,
+        plan: ApplyPlan,
+        kind: OpKind,
+        op: CMatrix,
+        recipe: Option<OpRecipe>,
+    },
     /// A multi-operator channel; `sup` is its precomputed superoperator and
     /// classification when the channel is superop-eligible.
     Channel { kernel: ChannelKernel, sup: Option<(CMatrix, OpKind)> },
 }
 
-/// A single noiseless unitary held on the frontier: it closes as a sandwich
-/// step, and its superoperator `U ⊗ conj(U)` is only built if a later item
-/// actually merges with it (noiseless circuits never pay the Kronecker).
-struct PendingUnitary {
-    plan: ApplyPlan,
-    kind: OpKind,
-    op: CMatrix,
-    /// Original (possibly unsorted) target order the operator is indexed in.
-    targets: Vec<usize>,
-}
-
 /// An open (still-growing) superoperator block on the density compiler's
 /// frontier. Like fusion's open blocks, live blocks have pairwise disjoint
-/// supports, so they commute and closing order is irrelevant.
+/// supports, so they commute and closing order is irrelevant. Blocks are
+/// structural — they record which items they absorbed; the composed
+/// superoperator is materialised at close time (and a single-unitary block
+/// closes as a plain sandwich, so noiseless circuits never pay the
+/// Kronecker).
 struct OpenSuper {
     /// Ascending union support.
     targets: Vec<usize>,
     sub_dim: usize,
-    /// Superoperator over the support (`sub_dim² × sub_dim²`), composed in
-    /// program order; `None` iff the block holds a single [`PendingUnitary`]
-    /// (derivable on demand at merge time).
-    sup: Option<CMatrix>,
+    /// Absorbed item indices (ascending = program order after sorting).
+    items: Vec<usize>,
     class: Structure,
     /// Sum of the constituents' standalone sweep costs (the cost of *not*
     /// folding), used by the merge rule.
     cost: usize,
-    ops: usize,
-    /// Set iff the block holds exactly one noiseless unitary; such a block
-    /// closes as a sandwich step instead of a superoperator sweep.
-    unitary: Option<PendingUnitary>,
 }
 
 impl DensityKernels {
@@ -382,271 +623,306 @@ impl DensityKernels {
     /// noise channels (`k_U² = 256 > 2k + 2k²`), but a single-qudit gate
     /// folds with its channel, runs of same-support channels collapse to one
     /// sweep, and a two-qudit channel absorbs the two-qudit gate it follows.
+    ///
+    /// ## Parameter dependence
+    ///
+    /// Items whose operator carries a free parameter are classified
+    /// **conservatively** for the cost model — diagonal iff their generators
+    /// are diagonal (true at every binding), dense otherwise — so the folding
+    /// topology is binding-independent and a compiled plan can be rebound in
+    /// place. The emitted sweeps record their constituent parts; `bind`
+    /// re-composes exactly those sweeps through the same code path the
+    /// compiler used.
     pub(crate) fn compile(kernels: &CircuitKernels, config: &SuperopConfig) -> Result<Self> {
         let radix = Radix::new(kernels.dims.clone()).map_err(CircuitError::Core)?;
+        let zeros = vec![0.0f64; kernels.num_params];
         let items = collect_density_items(kernels, config, &radix)?;
-
-        let mut stats = SuperopStats::default();
-        let mut steps = Vec::with_capacity(items.len());
+        let mut builder = DensityFrontier {
+            radix: &radix,
+            dims: &kernels.dims,
+            config,
+            zeros,
+            items: items.into_iter().map(Some).collect(),
+            open: Vec::new(),
+            wire: vec![None; kernels.dims.len()],
+            steps: Vec::new(),
+            rebind: Vec::new(),
+            stats: SuperopStats::default(),
+        };
 
         if !config.enabled {
-            for item in items {
-                match item {
-                    DensityItem::Unitary { plan, kind, op, .. } => {
-                        stats.unitary_steps += 1;
-                        steps.push(DensityStep::Unitary { plan, kind, op });
-                    }
-                    DensityItem::Channel { kernel, .. } => {
-                        stats.kraus_steps += 1;
-                        steps.push(DensityStep::Kraus(kernel));
-                    }
+            for id in 0..builder.items.len() {
+                builder.emit_verbatim(id)?;
+            }
+        } else {
+            for id in 0..builder.items.len() {
+                builder.push_item(id)?;
+            }
+            for slot in 0..builder.open.len() {
+                if builder.open[slot].is_some() {
+                    builder.close(slot)?;
                 }
             }
-            return Ok(Self {
-                dims: kernels.dims.clone(),
-                steps,
-                fusion_stats: kernels.stats,
-                stats,
+        }
+        Ok(Self {
+            dims: kernels.dims.clone(),
+            steps: builder.steps,
+            fusion_stats: kernels.stats,
+            stats: builder.stats,
+            rebind: builder.rebind,
+            num_params: kernels.num_params,
+        })
+    }
+
+    /// Re-materialises every parameter-dependent density step at the given
+    /// binding, in place: sandwich steps re-realize their unitary, sweeps
+    /// re-compose their recorded parts. The folding topology, stride plans
+    /// and step order are parameter-invariant and untouched.
+    ///
+    /// # Errors
+    /// Returns an error if `params` supplies fewer than `num_params` values.
+    pub(crate) fn bind(&mut self, params: &[f64]) -> Result<()> {
+        if params.len() < self.num_params {
+            return Err(CircuitError::InvalidGate(format!(
+                "binding supplies {} parameters but the plan needs {}",
+                params.len(),
+                self.num_params
+            )));
+        }
+        for recipe in &self.rebind {
+            match recipe {
+                DensityRecipe::Sandwich { step, recipe } => {
+                    let DensityStep::Unitary { kind, op, .. } = &mut self.steps[*step] else {
+                        unreachable!("sandwich recipes point at unitary steps")
+                    };
+                    *op = recipe.realize(params)?;
+                    *kind = OpKind::classify(op);
+                }
+                DensityRecipe::Super { step, parts, targets } => {
+                    let DensityStep::Super { kind, sup, .. } = &mut self.steps[*step] else {
+                        unreachable!("super recipes point at sweep steps")
+                    };
+                    *sup = compose_super_parts(parts, params, targets, &self.dims)?;
+                    *kind = OpKind::classify(sup);
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Working state of the density compiler's superoperator frontier.
+struct DensityFrontier<'a> {
+    radix: &'a Radix,
+    dims: &'a [usize],
+    config: &'a SuperopConfig,
+    /// The all-zero binding the compiled operators are materialised at.
+    zeros: Vec<f64>,
+    /// Constituents, consumed (taken) as their blocks close.
+    items: Vec<Option<DensityItem>>,
+    /// Slot-map of open blocks (freed entries become `None`).
+    open: Vec<Option<OpenSuper>>,
+    wire: Vec<Option<usize>>,
+    steps: Vec<DensityStep>,
+    rebind: Vec<DensityRecipe>,
+    stats: SuperopStats,
+}
+
+impl DensityFrontier<'_> {
+    /// The conservative structure class of an item for the (binding-
+    /// independent) cost model.
+    fn item_class(item: &DensityItem) -> Structure {
+        match item {
+            DensityItem::Unitary { kind, recipe, .. } => match recipe {
+                Some(r) if r.diagonal_for_all_bindings() => Structure::Diagonal,
+                Some(_) => Structure::Dense,
+                None => Structure::of(kind),
+            },
+            DensityItem::Channel { sup, .. } => match sup {
+                Some((_, kind)) => Structure::of(kind),
+                None => Structure::Dense,
+            },
+        }
+    }
+
+    /// Emits an item verbatim (batching disabled): unitaries as sandwiches,
+    /// channels on the per-term Kraus path.
+    fn emit_verbatim(&mut self, id: usize) -> Result<()> {
+        match self.items[id].take().expect("items are consumed once") {
+            DensityItem::Unitary { plan, kind, op, recipe, .. } => {
+                if let Some(recipe) = recipe {
+                    self.rebind.push(DensityRecipe::Sandwich { step: self.steps.len(), recipe });
+                }
+                self.stats.unitary_steps += 1;
+                self.steps.push(DensityStep::Unitary { plan, kind, op });
+            }
+            DensityItem::Channel { kernel, .. } => {
+                self.stats.kraus_steps += 1;
+                self.steps.push(DensityStep::Kraus(kernel));
+            }
+        }
+        Ok(())
+    }
+
+    /// Closes the block in `slot`: a single-unitary block becomes a sandwich
+    /// step, anything else one composed superoperator sweep.
+    fn close(&mut self, slot: usize) -> Result<()> {
+        let block = self.open[slot].take().expect("closing a live block");
+        for &t in &block.targets {
+            self.wire[t] = None;
+        }
+        let mut ids = block.items;
+        ids.sort_unstable();
+        if ids.len() == 1 {
+            if let Some(DensityItem::Unitary { .. }) = self.items[ids[0]].as_ref() {
+                return self.emit_verbatim(ids[0]);
+            }
+        }
+        let mut parts = Vec::with_capacity(ids.len());
+        let mut parametric = false;
+        for id in ids.iter() {
+            // Constant parts embed into the union once, here; only the
+            // parametric parts re-embed on rebind.
+            parts.push(match self.items[*id].take().expect("items are consumed once") {
+                DensityItem::Unitary { recipe: Some(recipe), .. } => {
+                    parametric = true;
+                    SuperPart::Parametric { recipe }
+                }
+                DensityItem::Unitary { targets, op, recipe: None, .. } => SuperPart::Const {
+                    sup: embed_super(
+                        &SuperPlan::unitary_superop(&op),
+                        &targets,
+                        &block.targets,
+                        self.dims,
+                    )?,
+                },
+                DensityItem::Channel { kernel, sup } => {
+                    let (sup, _) = sup.expect("merged channels carry their superoperator");
+                    SuperPart::Const {
+                        sup: embed_super(&sup, &kernel.targets, &block.targets, self.dims)?,
+                    }
+                }
             });
         }
+        let sup = compose_super_parts(&parts, &self.zeros, &block.targets, self.dims)?;
+        let plan = SuperPlan::new(self.radix, &block.targets).map_err(CircuitError::Core)?;
+        let kind = OpKind::classify(&sup);
+        self.stats.super_steps += 1;
+        self.stats.max_super_dim = self.stats.max_super_dim.max(block.sub_dim);
+        if ids.len() >= 2 {
+            self.stats.multi_op_supers += 1;
+            self.stats.ops_folded += ids.len();
+        }
+        if parametric {
+            self.rebind.push(DensityRecipe::Super {
+                step: self.steps.len(),
+                parts,
+                targets: block.targets,
+            });
+        }
+        self.steps.push(DensityStep::Super { plan, kind, sup });
+        Ok(())
+    }
 
-        let mut open: Vec<Option<OpenSuper>> = Vec::new();
-        let mut wire: Vec<Option<usize>> = vec![None; kernels.dims.len()];
+    /// Closes every open block whose support intersects `targets`; the
+    /// remaining blocks commute with the emitted step (disjoint supports).
+    /// This is the same wire-local flush rule the fusion pass applies to its
+    /// unitary frontier.
+    fn flush_touching(&mut self, targets: &[usize]) -> Result<()> {
+        let mut slots: Vec<usize> = targets.iter().filter_map(|&t| self.wire[t]).collect();
+        slots.sort_unstable();
+        slots.dedup();
+        for slot in slots {
+            self.close(slot)?;
+        }
+        Ok(())
+    }
 
-        let close = |open: &mut Vec<Option<OpenSuper>>,
-                     wire: &mut Vec<Option<usize>>,
-                     steps: &mut Vec<DensityStep>,
-                     stats: &mut SuperopStats,
-                     slot: usize|
-         -> Result<()> {
-            let block = open[slot].take().expect("closing a live block");
-            for &t in &block.targets {
-                wire[t] = None;
-            }
-            if let Some(PendingUnitary { plan, kind, op, .. }) = block.unitary {
-                stats.unitary_steps += 1;
-                steps.push(DensityStep::Unitary { plan, kind, op });
-            } else {
-                let sup = block.sup.expect("non-unitary blocks carry their superoperator");
-                let plan = SuperPlan::new(&radix, &block.targets).map_err(CircuitError::Core)?;
-                let kind = OpKind::classify(&sup);
-                stats.super_steps += 1;
-                stats.max_super_dim = stats.max_super_dim.max(block.sub_dim);
-                if block.ops >= 2 {
-                    stats.multi_op_supers += 1;
-                    stats.ops_folded += block.ops;
-                }
-                steps.push(DensityStep::Super { plan, kind, sup });
-            }
-            Ok(())
-        };
-        // Closes every open block whose support intersects `targets`; the
-        // remaining blocks commute with the emitted step (disjoint supports).
-        // This is the same wire-local flush rule the fusion pass applies to
-        // its unitary frontier.
-        let flush_touching = |open: &mut Vec<Option<OpenSuper>>,
-                              wire: &mut Vec<Option<usize>>,
-                              steps: &mut Vec<DensityStep>,
-                              stats: &mut SuperopStats,
-                              targets: &[usize]|
-         -> Result<()> {
-            let mut slots: Vec<usize> = targets.iter().filter_map(|&t| wire[t]).collect();
-            slots.sort_unstable();
-            slots.dedup();
-            for slot in slots {
-                close(open, wire, steps, stats, slot)?;
-            }
-            Ok(())
-        };
-
-        for item in items {
-            // Standalone form of the item: its superoperator (channels carry
-            // it; unitaries defer it to merge time), class, cost, and
-            // sandwich fallback.
-            let (targets, item_sup, item_class, item_cost, sandwich) = match item {
-                DensityItem::Unitary { targets, plan, kind, op } => {
-                    let k = plan.sub_dim();
-                    let class = Structure::of(&kind);
-                    let cost = match class {
-                        Structure::Diagonal => 2,
-                        Structure::Monomial => 4,
-                        Structure::Dense => 2 * k,
-                    };
-                    if k > config.max_dim {
-                        // Too large to ever join a superoperator; emit the
-                        // sandwich directly (ordering: flush overlaps first).
-                        flush_touching(&mut open, &mut wire, &mut steps, &mut stats, &targets)?;
-                        stats.unitary_steps += 1;
-                        steps.push(DensityStep::Unitary { plan, kind, op });
-                        continue;
-                    }
-                    (
-                        targets.clone(),
-                        None,
-                        class,
-                        cost,
-                        Some(PendingUnitary { plan, kind, op, targets }),
-                    )
-                }
-                DensityItem::Channel { kernel, sup } => {
-                    let Some((sup, sup_kind)) = sup else {
-                        // Over budget or unprofitable: per-term path.
-                        flush_touching(
-                            &mut open,
-                            &mut wire,
-                            &mut steps,
-                            &mut stats,
-                            &kernel.targets,
-                        )?;
-                        stats.kraus_steps += 1;
-                        steps.push(DensityStep::Kraus(kernel));
-                        continue;
-                    };
-                    let class = Structure::of(&sup_kind);
-                    let cost = class.sweep_cost(kernel.plan.sub_dim());
-                    (kernel.targets.clone(), Some(sup), class, cost, None)
-                }
-            };
-
-            // Greedy merge against the touched open blocks, in creation
-            // order, under the cost rule and budget (see the method docs).
-            let mut slots: Vec<usize> = targets.iter().filter_map(|&t| wire[t]).collect();
-            slots.sort_unstable();
-            slots.dedup();
-
-            let mut union: Vec<usize> = targets.clone();
-            union.sort_unstable();
-            let mut union_dim = radix.subspace_dim(&union).map_err(CircuitError::Core)?;
-            let mut parts_cost = item_cost;
-            let mut class = item_class;
-            let mut accepted = Vec::new();
-            for &s in &slots {
-                let block = open[s].as_ref().expect("live slot");
-                let mut tentative = union.clone();
-                tentative.extend(block.targets.iter().copied());
-                tentative.sort_unstable();
-                tentative.dedup();
-                let t_dim = radix.subspace_dim(&tentative).map_err(CircuitError::Core)?;
-                let t_class = class.join(block.class);
-                if t_dim <= config.max_dim && t_class.sweep_cost(t_dim) <= parts_cost + block.cost {
-                    accepted.push(s);
-                    union = tentative;
-                    union_dim = t_dim;
-                    parts_cost += block.cost;
-                    class = t_class;
-                }
-            }
-            for &s in &slots {
-                if !accepted.contains(&s) {
-                    close(&mut open, &mut wire, &mut steps, &mut stats, s)?;
-                }
-            }
-
-            let n = radix.len();
-            let doubled = |ts: &[usize]| -> Vec<usize> {
-                let mut d = Vec::with_capacity(2 * ts.len());
-                d.extend_from_slice(ts);
-                d.extend(ts.iter().map(|&t| t + n));
-                d
-            };
-            let union_doubled = doubled(&union);
-            let union_doubled_dims: Vec<usize> = {
-                let dims: Vec<usize> = union.iter().map(|&t| kernels.dims[t]).collect();
-                dims.iter().chain(dims.iter()).copied().collect()
-            };
-
-            let (sup, ops, unitary) = if accepted.is_empty() {
-                match sandwich {
-                    // A lone unitary defers its superoperator: if nothing
-                    // ever merges, the block closes as a plain sandwich and
-                    // the Kronecker is never built.
-                    Some(pending) => (None, 1, Some(pending)),
-                    None => {
-                        let item_sup = item_sup.expect("channel items carry their superoperator");
-                        let sup = if union == targets {
-                            item_sup
-                        } else {
-                            // Canonicalise unsorted targets to the ascending
-                            // union.
-                            embed_to(
-                                &union_doubled,
-                                &union_doubled_dims,
-                                &doubled(&targets),
-                                &item_sup,
-                            )?
-                        };
-                        (Some(sup), 1, None)
-                    }
-                }
-            } else {
-                // Accepted blocks are pairwise disjoint and all precede the
-                // item in program order, so their product order is free and
-                // the item multiplies last.
-                let mut acc: Option<CMatrix> = None;
-                let mut ops = 1usize;
-                for &s in &accepted {
-                    let block = open[s].take().expect("live slot");
-                    for &t in &block.targets {
-                        wire[t] = None;
-                    }
-                    ops += block.ops;
-                    // Deferred unitary blocks build their superoperator now,
-                    // in the operator's original target order.
-                    let (block_sup, block_from) = match (block.sup, block.unitary) {
-                        (Some(sup), _) => (sup, block.targets),
-                        (None, Some(pending)) => {
-                            (SuperPlan::unitary_superop(&pending.op), pending.targets)
-                        }
-                        (None, None) => {
-                            unreachable!("blocks without a superoperator hold a unitary")
-                        }
-                    };
-                    let embedded = embed_to(
-                        &union_doubled,
-                        &union_doubled_dims,
-                        &doubled(&block_from),
-                        &block_sup,
-                    )?;
-                    acc = Some(match acc {
-                        Some(prev) => embedded.matmul(&prev).map_err(CircuitError::Core)?,
-                        None => embedded,
-                    });
-                }
-                let item_sup = match item_sup {
-                    Some(sup) => sup,
-                    None => SuperPlan::unitary_superop(
-                        &sandwich.as_ref().expect("unitary items carry their sandwich").op,
-                    ),
+    /// Feeds one item to the frontier: greedy merge against the touched open
+    /// blocks (in creation order) under the cost rule and budget, closing the
+    /// blocks that cannot merge.
+    fn push_item(&mut self, id: usize) -> Result<()> {
+        let item = self.items[id].as_ref().expect("items are pushed once");
+        let item_class = Self::item_class(item);
+        let (targets, eligible, item_cost) = match item {
+            DensityItem::Unitary { targets, plan, .. } => {
+                let k = plan.sub_dim();
+                let cost = match item_class {
+                    Structure::Diagonal => 2,
+                    Structure::Monomial => 4,
+                    Structure::Dense => 2 * k,
                 };
-                let item_embedded =
-                    embed_to(&union_doubled, &union_doubled_dims, &doubled(&targets), &item_sup)?;
-                let sup = item_embedded
-                    .matmul(&acc.expect("at least one block merged"))
-                    .map_err(CircuitError::Core)?;
-                (Some(sup), ops, None)
-            };
-
-            let slot = open.len();
-            for &t in &union {
-                wire[t] = Some(slot);
+                (targets.clone(), k <= self.config.max_dim, cost)
             }
-            open.push(Some(OpenSuper {
-                targets: union,
-                sub_dim: union_dim,
-                sup,
-                class,
-                cost: parts_cost,
-                ops,
-                unitary,
-            }));
+            DensityItem::Channel { kernel, sup } => {
+                let cost = match sup {
+                    Some((_, kind)) => Structure::of(kind).sweep_cost(kernel.plan.sub_dim()),
+                    None => 0,
+                };
+                (kernel.targets.clone(), sup.is_some(), cost)
+            }
+        };
+        if !eligible {
+            // Too large to ever join a sweep (or an unprofitable/over-budget
+            // channel): emit verbatim, flushing overlaps first.
+            self.flush_touching(&targets)?;
+            return self.emit_verbatim(id);
         }
 
-        for slot in 0..open.len() {
-            if open[slot].is_some() {
-                close(&mut open, &mut wire, &mut steps, &mut stats, slot)?;
+        let mut slots: Vec<usize> = targets.iter().filter_map(|&t| self.wire[t]).collect();
+        slots.sort_unstable();
+        slots.dedup();
+
+        let mut union: Vec<usize> = targets.clone();
+        union.sort_unstable();
+        let mut union_dim = self.radix.subspace_dim(&union).map_err(CircuitError::Core)?;
+        let mut parts_cost = item_cost;
+        let mut class = item_class;
+        let mut accepted = Vec::new();
+        for &s in &slots {
+            let block = self.open[s].as_ref().expect("live slot");
+            let mut tentative = union.clone();
+            tentative.extend(block.targets.iter().copied());
+            tentative.sort_unstable();
+            tentative.dedup();
+            let t_dim = self.radix.subspace_dim(&tentative).map_err(CircuitError::Core)?;
+            let t_class = class.join(block.class);
+            if t_dim <= self.config.max_dim && t_class.sweep_cost(t_dim) <= parts_cost + block.cost
+            {
+                accepted.push(s);
+                union = tentative;
+                union_dim = t_dim;
+                parts_cost += block.cost;
+                class = t_class;
             }
         }
-        Ok(Self { dims: kernels.dims.clone(), steps, fusion_stats: kernels.stats, stats })
+        for &s in &slots {
+            if !accepted.contains(&s) {
+                self.close(s)?;
+            }
+        }
+
+        let mut item_ids = vec![id];
+        for &s in &accepted {
+            let block = self.open[s].take().expect("live slot");
+            for &t in &block.targets {
+                self.wire[t] = None;
+            }
+            item_ids.extend(block.items);
+        }
+
+        let slot = self.open.len();
+        for &t in &union {
+            self.wire[t] = Some(slot);
+        }
+        self.open.push(Some(OpenSuper {
+            targets: union,
+            sub_dim: union_dim,
+            items: item_ids,
+            class,
+            cost: parts_cost,
+        }));
+        Ok(())
     }
 }
 
@@ -671,6 +947,7 @@ fn collect_density_items(
                 plan: kernel.plan.clone(),
                 kind: kernel.kinds[0].clone(),
                 op: kernel.channel.operators()[0].clone(),
+                recipe: None,
             });
             return Ok(());
         }
@@ -691,12 +968,13 @@ fn collect_density_items(
 
     for step in &kernels.steps {
         match step {
-            ExecStep::Apply { targets, plan, kind, op, noise } => {
+            ExecStep::Apply { targets, plan, kind, op, noise, recipe } => {
                 items.push(DensityItem::Unitary {
                     targets: targets.clone(),
                     plan: plan.clone(),
                     kind: kind.clone(),
                     op: op.clone(),
+                    recipe: recipe.clone(),
                 });
                 for ch in noise {
                     push_channel(&mut items, ch.clone())?;

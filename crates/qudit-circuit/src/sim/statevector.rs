@@ -39,7 +39,7 @@ pub struct CompiledCircuit {
     /// with a different model are rejected (the plan bakes in gate-level
     /// channels, so executing it under another model would silently mix the
     /// two).
-    noise: NoiseModel,
+    pub(crate) noise: NoiseModel,
 }
 
 impl CompiledCircuit {
@@ -56,6 +56,72 @@ impl CompiledCircuit {
     /// Per-qudit dimensions of the register the plan was compiled for.
     pub fn dims(&self) -> &[usize] {
         &self.kernels.dims
+    }
+
+    /// Number of parameters a binding must supply
+    /// ([`crate::Circuit::num_params`] of the source circuit). Zero for a
+    /// fully bound circuit.
+    pub fn num_params(&self) -> usize {
+        self.kernels.num_params
+    }
+
+    /// Number of apply steps whose operator depends on a free parameter —
+    /// the steps [`CompiledCircuit::bind`] re-materialises (everything else
+    /// is binding-invariant).
+    pub fn rebindable_steps(&self) -> usize {
+        self.kernels
+            .steps
+            .iter()
+            .filter(|s| matches!(s, crate::sim::kernels::ExecStep::Apply { recipe: Some(_), .. }))
+            .count()
+    }
+
+    /// Re-materialises the operators of the parameter-dependent (possibly
+    /// fused) apply steps at the given binding, **in place** — without
+    /// re-running fusion, stride-plan construction, or the plan's step
+    /// topology. A plan compiled from a parameterized circuit starts out
+    /// bound at all-zero parameters.
+    ///
+    /// Rebinding is exactly equivalent to recompiling the bound circuit:
+    /// `compile(c).bind(θ)` and `compile(c.with_bound(θ))` execute
+    /// bitwise-identical plans (operators, classifications, and therefore
+    /// sampling streams), the former skipping all recompilation work.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use qudit_circuit::gate::Param;
+    /// use qudit_circuit::sim::StatevectorSimulator;
+    /// use qudit_circuit::{Circuit, Gate};
+    /// use qudit_core::matrix::CMatrix;
+    ///
+    /// let mut c = Circuit::uniform(1, 3);
+    /// c.push(Gate::fourier(3), &[0]).unwrap();
+    /// let phase = Gate::parameterized(
+    ///     "sep",
+    ///     vec![3],
+    ///     &CMatrix::diag_real(&[0.0, 1.0, 2.0]),
+    ///     Param::Free(0),
+    /// )
+    /// .unwrap();
+    /// c.push(phase, &[0]).unwrap();
+    ///
+    /// let sim = StatevectorSimulator::new();
+    /// let mut plan = sim.compile(&c).unwrap();
+    /// assert_eq!(plan.num_params(), 1);
+    /// for theta in [0.1, 0.7, 1.3] {
+    ///     let swept = sim.run_bound(&mut plan, &[theta]).unwrap();
+    ///     let rebuilt = sim.run(&c.with_bound(&[theta]).unwrap()).unwrap();
+    ///     let overlap = swept.state.inner(&rebuilt).unwrap().abs();
+    ///     assert!((overlap - 1.0).abs() < 1e-12);
+    /// }
+    /// ```
+    ///
+    /// # Errors
+    /// Returns an error if `params` supplies fewer than
+    /// [`CompiledCircuit::num_params`] values.
+    pub fn bind(&mut self, params: &[f64]) -> Result<()> {
+        self.kernels.bind(params)
     }
 }
 
@@ -177,6 +243,12 @@ impl StatevectorSimulator {
         compiled: &CompiledCircuit,
         initial: &QuditState,
     ) -> Result<RunOutput> {
+        self.check_noise(compiled)?;
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        self.run_prepared(&compiled.kernels, initial, &mut rng)
+    }
+
+    fn check_noise(&self, compiled: &CompiledCircuit) -> Result<()> {
         if compiled.noise != self.noise {
             return Err(CircuitError::Unsupported(
                 "compiled circuit was built under a different noise model; recompile with \
@@ -184,8 +256,39 @@ impl StatevectorSimulator {
                     .into(),
             ));
         }
-        let mut rng = StdRng::seed_from_u64(self.seed);
-        self.run_prepared(&compiled.kernels, initial, &mut rng)
+        Ok(())
+    }
+
+    /// Rebinds a compiled plan to `params` and runs it from `|0...0⟩`: the
+    /// rebind-per-step entry point for variational sweeps (see
+    /// [`CompiledCircuit::bind`]).
+    ///
+    /// # Errors
+    /// Returns an error for a short binding, a register mismatch, or a noise
+    /// model mismatch.
+    pub fn run_bound(&self, compiled: &mut CompiledCircuit, params: &[f64]) -> Result<RunOutput> {
+        // Validate before binding so a failed call leaves the plan untouched.
+        self.check_noise(compiled)?;
+        compiled.bind(params)?;
+        self.run_compiled(compiled)
+    }
+
+    /// Rebinds a compiled plan to `params` and runs it from an arbitrary
+    /// initial state.
+    ///
+    /// # Errors
+    /// Returns an error for a short binding, a register mismatch, or a noise
+    /// model mismatch.
+    pub fn run_bound_from(
+        &self,
+        compiled: &mut CompiledCircuit,
+        params: &[f64],
+        initial: &QuditState,
+    ) -> Result<RunOutput> {
+        // Validate before binding so a failed call leaves the plan untouched.
+        self.check_noise(compiled)?;
+        compiled.bind(params)?;
+        self.run_compiled_from(compiled, initial)
     }
 
     /// Runs the circuit from `|0...0⟩` and returns the final state

@@ -30,7 +30,7 @@ use crate::noise::NoiseModel;
 use crate::observable::Observable;
 use crate::sim::fusion::FusionConfig;
 use crate::sim::kernels::CircuitKernels;
-use crate::sim::statevector::StatevectorSimulator;
+use crate::sim::statevector::{CompiledCircuit, StatevectorSimulator};
 
 /// A Monte-Carlo trajectory simulator.
 ///
@@ -126,6 +126,31 @@ impl TrajectorySimulator {
         }
     }
 
+    /// Compiles a circuit against this simulator's noise model and fusion
+    /// configuration into the reusable execution plan all trajectories
+    /// share. The plan is rebindable ([`CompiledCircuit::bind`]); pair it
+    /// with [`TrajectorySimulator::expectation_bound`] for parameter sweeps.
+    ///
+    /// # Errors
+    /// Returns an error for invalid instructions.
+    pub fn compile(&self, circuit: &Circuit) -> Result<CompiledCircuit> {
+        Ok(CompiledCircuit {
+            kernels: CircuitKernels::with_config(circuit, &self.noise, &self.fusion)?,
+            noise: self.noise.clone(),
+        })
+    }
+
+    fn check_compiled(&self, compiled: &CompiledCircuit) -> Result<()> {
+        if compiled.noise != self.noise {
+            return Err(CircuitError::Unsupported(
+                "compiled circuit was built under a different noise model; recompile with \
+                 this simulator's model"
+                    .into(),
+            ));
+        }
+        Ok(())
+    }
+
     /// Maps `f` over the final state of every trajectory, in parallel, and
     /// returns the per-trajectory results in trajectory order.
     fn map_trajectories<T: Send>(
@@ -149,10 +174,22 @@ impl TrajectorySimulator {
         circuit: &Circuit,
         f: impl Fn(usize, &QuditState) -> Result<T> + Sync,
         acc: &mut A,
-        mut fold: impl FnMut(&mut A, T),
+        fold: impl FnMut(&mut A, T),
     ) -> Result<()> {
         let kernels = CircuitKernels::with_config(circuit, &self.noise, &self.fusion)?;
-        let initial = QuditState::zero(circuit.dims().to_vec()).map_err(CircuitError::Core)?;
+        self.fold_trajectories_prepared(&kernels, f, acc, fold)
+    }
+
+    /// [`TrajectorySimulator::fold_trajectories`] over a precompiled kernel
+    /// set, the plan-reuse path behind the `_compiled` entry points.
+    fn fold_trajectories_prepared<T: Send, A>(
+        &self,
+        kernels: &CircuitKernels,
+        f: impl Fn(usize, &QuditState) -> Result<T> + Sync,
+        acc: &mut A,
+        mut fold: impl FnMut(&mut A, T),
+    ) -> Result<()> {
+        let initial = QuditState::zero(kernels.dims.clone()).map_err(CircuitError::Core)?;
         let sv = StatevectorSimulator::new().with_noise(self.noise.clone());
         let threads = self.resolved_threads();
         let batch = threads.max(1) * 4;
@@ -162,7 +199,7 @@ impl TrajectorySimulator {
             let results = par::par_map_threads(len, threads, |i| {
                 let t = start + i;
                 let mut rng = StdRng::seed_from_u64(self.traj_seed(t));
-                let out = sv.run_prepared(&kernels, &initial, &mut rng)?;
+                let out = sv.run_prepared(kernels, &initial, &mut rng)?;
                 f(t, &out.state)
             });
             for r in results {
@@ -187,14 +224,85 @@ impl TrajectorySimulator {
         Ok(estimate(&values))
     }
 
+    /// Trajectory-averaged expectation through a precompiled plan (see
+    /// [`TrajectorySimulator::compile`]): the fusion pass, stride plans and
+    /// noise channels are reused across calls.
+    ///
+    /// # Errors
+    /// Returns an error for an observable/dimension mismatch or a noise model
+    /// mismatch.
+    pub fn expectation_compiled(
+        &self,
+        compiled: &CompiledCircuit,
+        observable: &Observable,
+    ) -> Result<TrajectoryEstimate> {
+        self.check_compiled(compiled)?;
+        let mut values = Vec::with_capacity(self.n_trajectories);
+        self.fold_trajectories_prepared(
+            &compiled.kernels,
+            |_, state| observable.expectation(state),
+            &mut values,
+            |acc, v| acc.push(v),
+        )?;
+        Ok(estimate(&values))
+    }
+
+    /// Rebinds a compiled plan to `params` and estimates the observable: the
+    /// rebind-per-step entry point for noisy variational sweeps.
+    ///
+    /// # Errors
+    /// Returns an error for a short binding or a noise model mismatch.
+    pub fn expectation_bound(
+        &self,
+        compiled: &mut CompiledCircuit,
+        params: &[f64],
+        observable: &Observable,
+    ) -> Result<TrajectoryEstimate> {
+        // Validate before binding so a failed call leaves the plan untouched.
+        self.check_compiled(compiled)?;
+        compiled.bind(params)?;
+        self.expectation_compiled(compiled, observable)
+    }
+
     /// Trajectory-averaged probability of each full-register basis outcome.
     ///
     /// # Errors
     /// Returns an error for invalid instructions.
     pub fn outcome_distribution(&self, circuit: &Circuit) -> Result<Vec<f64>> {
-        let mut acc = vec![0.0; circuit.total_dim()];
-        self.fold_trajectories(
-            circuit,
+        let kernels = CircuitKernels::with_config(circuit, &self.noise, &self.fusion)?;
+        self.outcome_distribution_prepared(&kernels)
+    }
+
+    /// Trajectory-averaged outcome distribution through a precompiled plan.
+    ///
+    /// # Errors
+    /// Returns an error for invalid dimensions or a noise model mismatch.
+    pub fn outcome_distribution_compiled(&self, compiled: &CompiledCircuit) -> Result<Vec<f64>> {
+        self.check_compiled(compiled)?;
+        self.outcome_distribution_prepared(&compiled.kernels)
+    }
+
+    /// Rebinds a compiled plan to `params` and returns the trajectory-
+    /// averaged outcome distribution.
+    ///
+    /// # Errors
+    /// Returns an error for a short binding or a noise model mismatch.
+    pub fn outcome_distribution_bound(
+        &self,
+        compiled: &mut CompiledCircuit,
+        params: &[f64],
+    ) -> Result<Vec<f64>> {
+        // Validate before binding so a failed call leaves the plan untouched.
+        self.check_compiled(compiled)?;
+        compiled.bind(params)?;
+        self.outcome_distribution_compiled(compiled)
+    }
+
+    fn outcome_distribution_prepared(&self, kernels: &CircuitKernels) -> Result<Vec<f64>> {
+        let total_dim: usize = kernels.dims.iter().product();
+        let mut acc = vec![0.0; total_dim];
+        self.fold_trajectories_prepared(
+            kernels,
             |_, state| Ok(state.probabilities()),
             &mut acc,
             |acc, probs| {

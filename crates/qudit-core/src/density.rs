@@ -306,6 +306,23 @@ impl DensityMatrix {
         plan.apply(kind, sup, self.matrix.as_mut_slice(), scratch)
     }
 
+    /// [`DensityMatrix::apply_superop_prepared`] with the sweep's independent
+    /// doubled-register blocks chunked across up to `threads` worker threads
+    /// (see [`SuperPlan::apply_threads`]). Bitwise identical to the serial
+    /// sweep for every thread count.
+    ///
+    /// # Errors
+    /// Returns an error if the plan or superoperator dimensions do not match.
+    pub fn apply_superop_prepared_threads(
+        &mut self,
+        plan: &SuperPlan,
+        kind: &OpKind,
+        sup: &CMatrix,
+        threads: usize,
+    ) -> Result<()> {
+        plan.apply_threads(kind, sup, self.matrix.as_mut_slice(), threads)
+    }
+
     /// `m → K m K†` through a precomputed plan, running the strided kernels
     /// down each column (ket index) and across each row (bra index) without
     /// materialising per-column state vectors.

@@ -76,7 +76,9 @@
 //! let probs = state.marginal_probabilities(&[0]).unwrap();
 //! assert!((probs.iter().sum::<f64>() - 1.0).abs() < 1e-12);
 //! ```
-#![deny(unsafe_code)] // single documented exception: the pool's lifetime erasure in `par`
+// Two documented exceptions: the pool's lifetime erasure in `par`, and the
+// disjoint-block shared pointer in `apply::ApplyPlan::apply_parallel`.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod apply;

@@ -7,7 +7,7 @@ use qudit_cavity::circuit::noise::NoiseModel;
 use qudit_cavity::qopt::baselines::greedy_coloring;
 use qudit_cavity::qopt::graph::{ColoringProblem, Graph};
 use qudit_cavity::qopt::ndar::{run_ndar, NdarConfig};
-use qudit_cavity::qopt::qaoa::QaoaConfig;
+use qudit_cavity::qopt::qaoa::{QaoaConfig, QuditQaoa};
 
 fn main() {
     let graph = Graph::random_regular(6, 3, 2).expect("graph");
@@ -22,6 +22,19 @@ fn main() {
         "Greedy baseline: {} properly colored edges",
         problem.properly_colored(&greedy_coloring(&problem))
     );
+
+    // The QAOA ansatz is a *parameterized* circuit: one compiled plan serves
+    // the whole angle sweep below (and every optimizer step inside
+    // `run_ndar`), rebound in place per angle set instead of rebuilt.
+    let qaoa = QuditQaoa::new(problem.clone(), QaoaConfig { layers: 1, ..Default::default() });
+    let mut evaluator = qaoa.evaluator(&NoiseModel::noiseless()).expect("evaluator");
+    println!("\nNoiseless γ-sweep at β = 0.35 (one compiled plan, rebound per point):");
+    for k in 0..5 {
+        let gamma = 0.2 + 0.2 * k as f64;
+        let value =
+            qaoa.expected_value_bound(&mut evaluator, &[gamma], &[0.35]).expect("expected value");
+        println!("  γ = {gamma:.2}: expected properly colored edges = {value:.3}");
+    }
 
     let config = NdarConfig {
         rounds: 3,
