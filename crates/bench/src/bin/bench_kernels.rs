@@ -1,19 +1,20 @@
-//! Kernel benchmark harness for PR 5: times the parameterized-IR rebind path
-//! on a QAOA angle sweep on top of the PR-1/2/3/4 rows, prints a summary
-//! table and writes the numbers to `BENCH_5.json`.
+//! Kernel benchmark harness for PR 6: times the runtime health guards on the
+//! Table-I workloads on top of the PR-1/2/3/4/5 rows, prints a summary table
+//! and writes the numbers to `BENCH_6.json`.
 //!
 //! The earlier rows (trajectory expectation, deterministic sampling, raw
 //! sampler, measure/collapse, statevector fusion, syndrome-extraction flush
-//! policies, Lindblad, density superoperator batching, `par_map` overhead)
-//! are re-measured unchanged so regressions against earlier BENCH files are
-//! visible; `statevector_run` keeps its anchor to BENCH_1's frozen optimized
-//! time. The new row isolates what PR 5 adds:
+//! policies, Lindblad, density superoperator batching, QAOA rebind sweep,
+//! `par_map` overhead) are re-measured unchanged so regressions against
+//! earlier BENCH files are visible; `statevector_run` keeps its anchor to
+//! BENCH_1's frozen optimized time. The new rows isolate what PR 6 adds:
 //!
-//! * `qaoa_rebind_sweep` — a p-layer QAOA parameter sweep through one
-//!   compiled plan rebound per angle set (`CompiledCircuit::bind`), vs
-//!   rebuilding + recompiling the circuit every step (the pre-PR-5
-//!   variational-loop shape). CI asserts ≥ 2× and that rebound and rebuilt
-//!   runs agree at 1e-12.
+//! * `statevector_run_guarded` — the fused statevector run with invariant
+//!   checkpoints at the default cadence vs the same run unguarded. The
+//!   "speedup" column is guard overhead inverted: CI asserts ≥ 0.95 (i.e.
+//!   the guards cost at most ~5%) and that at least one checkpoint ran.
+//! * `density_run_noisy_guarded` — the superop-batched noisy density run
+//!   with trace/hermiticity checkpoints vs unguarded, same contract.
 //!
 //! Run with `cargo run --release -p bench --bin bench_kernels`.
 
@@ -26,8 +27,8 @@ use rand::SeedableRng;
 use bench::{baseline, print_table, small_sqed_circuit, syndrome_extraction_circuit};
 use qudit_circuit::noise::NoiseModel;
 use qudit_circuit::sim::{
-    DensityMatrixSimulator, FlushPolicy, FusionConfig, StatevectorSimulator, SuperopConfig,
-    TrajectorySimulator,
+    DensityMatrixSimulator, FlushPolicy, FusionConfig, GuardConfig, StatevectorSimulator,
+    SuperopConfig, TrajectorySimulator,
 };
 use qudit_circuit::Observable;
 use qudit_core::density::DensityMatrix;
@@ -443,6 +444,78 @@ fn main() {
         optimized_s: percall_s,
     });
 
+    // --- Runtime health guards: checkpoint overhead on the hot paths. ----
+    // Both guarded rows run the *same* precompiled plan with invariant
+    // checkpoints at the default cadence (fused NaN/Inf + norm scan on the
+    // statevector; trace + hermiticity scan on vectorised rho). The
+    // "baseline" column is the unguarded run re-measured back to back, so
+    // the speedup column reads as inverted guard overhead: CI asserts it
+    // stays >= 0.95 (guards cost at most ~5%) and that the guard engaged.
+    let sv_guarded = StatevectorSimulator::new().with_guard(GuardConfig::enabled());
+    let sv_guard_health = {
+        let guarded = sv_guarded.run_compiled(&compiled_fused).unwrap();
+        let clean = sv_fused.run_compiled(&compiled_fused).unwrap();
+        assert!(
+            guarded.health.checks_run >= 1,
+            "guards must engage on the Table-I workload: {:?}",
+            guarded.health
+        );
+        assert_eq!(
+            guarded.state.amplitudes(),
+            clean.state.amplitudes(),
+            "a clean guarded run must be bitwise identical to the unguarded run"
+        );
+        guarded.health
+    };
+    let sv_unguarded_s = time_best(10, || {
+        std::hint::black_box(sv_fused.run_compiled(&compiled_fused).unwrap());
+    });
+    let sv_guarded_s = time_best(10, || {
+        std::hint::black_box(sv_guarded.run_compiled(&compiled_fused).unwrap());
+    });
+    entries.push(Entry {
+        name: "statevector_run_guarded".into(),
+        detail: format!(
+            "same fused workload; invariant checkpoints every {} steps ({} checks/run, \
+             Fail policy) vs the unguarded run — speedup is inverted guard overhead",
+            GuardConfig::DEFAULT_CADENCE,
+            sv_guard_health.checks_run
+        ),
+        baseline_s: Some(sv_unguarded_s),
+        optimized_s: sv_guarded_s,
+    });
+    let dsim_guarded =
+        DensityMatrixSimulator::new().with_noise(noise.clone()).with_guard(GuardConfig::enabled());
+    let density_guard_health = {
+        let (rho_g, health) = dsim_guarded.run_compiled_detailed(&compiled_density).unwrap();
+        let rho_clean = dsim.run_compiled(&compiled_density).unwrap();
+        assert!(
+            health.checks_run >= 1,
+            "guards must engage on the noisy density workload: {health:?}"
+        );
+        let diff = (rho_g.matrix() - rho_clean.matrix()).max_abs();
+        assert!(diff == 0.0, "clean guarded density run drifted from unguarded by {diff}");
+        health
+    };
+    let density_unguarded_s = time_best(3, || {
+        std::hint::black_box(dsim.run_compiled(&compiled_density).unwrap());
+    });
+    let density_guarded_s = time_best(3, || {
+        std::hint::black_box(dsim_guarded.run_compiled_detailed(&compiled_density).unwrap());
+    });
+    entries.push(Entry {
+        name: "density_run_noisy_guarded".into(),
+        detail: format!(
+            "same superop-batched workload; trace/hermiticity checkpoints every {} steps \
+             ({} checks/run, Fail policy) vs the unguarded run — speedup is inverted \
+             guard overhead",
+            GuardConfig::DEFAULT_CADENCE,
+            density_guard_health.checks_run
+        ),
+        baseline_s: Some(density_unguarded_s),
+        optimized_s: density_guarded_s,
+    });
+
     // --- QAOA rebind sweep: one compiled plan rebound per angle set. -----
     // The variational-loop shape every parameter sweep in the workspace
     // shares: the circuit *structure* (targets, fusion blocks, stride plans)
@@ -550,13 +623,13 @@ fn main() {
         })
         .collect();
     print_table(
-        "PR 5 kernel benchmarks (best-of-N wall clock)",
+        "PR 6 kernel benchmarks (best-of-N wall clock)",
         &["kernel", "baseline ms", "optimized ms", "speedup"],
         &rows,
     );
 
-    // --- BENCH_5.json (hand-rolled: no JSON dependency offline). ---------
-    let mut json = String::from("{\n  \"bench\": 5,\n");
+    // --- BENCH_6.json (hand-rolled: no JSON dependency offline). ---------
+    let mut json = String::from("{\n  \"bench\": 6,\n");
     json.push_str(&format!(
         "  \"workload\": {{\"circuit\": \"small_sqed_circuit\", \"sites\": {sites}, \"link_dim\": {d}, \"trotter_steps\": {steps}, \"dim\": {dim}}},\n"
     ));
@@ -588,6 +661,15 @@ fn main() {
         qaoa_plan.num_params(),
         qaoa_rebound_steps
     ));
+    json.push_str(&format!(
+        "  \"guard\": {{\"cadence\": {}, \"tol\": {:e}, \"statevector_checks_run\": {}, \"density_checks_run\": {}, \"renormalizations\": {}, \"fallbacks\": {}}},\n",
+        GuardConfig::DEFAULT_CADENCE,
+        GuardConfig::DEFAULT_TOL,
+        sv_guard_health.checks_run,
+        density_guard_health.checks_run,
+        sv_guard_health.renormalizations + density_guard_health.renormalizations,
+        sv_guard_health.fallbacks + density_guard_health.fallbacks
+    ));
     json.push_str(&format!("  \"threads\": {},\n", qudit_core::par::max_threads()));
     json.push_str(&format!("  \"pool_workers\": {},\n", qudit_core::par::pool_workers()));
     json.push_str("  \"results\": [\n");
@@ -603,6 +685,6 @@ fn main() {
         ));
     }
     json.push_str("  ]\n}\n");
-    std::fs::write("BENCH_5.json", &json).expect("write BENCH_5.json");
-    println!("\nwrote BENCH_5.json");
+    std::fs::write("BENCH_6.json", &json).expect("write BENCH_6.json");
+    println!("\nwrote BENCH_6.json");
 }

@@ -22,6 +22,12 @@ pub struct KrausChannel {
     name: String,
     dims: Vec<usize>,
     operators: Vec<CMatrix>,
+    /// Completeness-relation tolerance the channel was validated against at
+    /// construction. `1e-8` for [`KrausChannel::new`]; larger for channels
+    /// admitted through [`KrausChannel::new_with_tolerance`]. The density
+    /// compiler widens its fold-time trace-preservation allowance by this
+    /// amount so intentionally lossy channels stay legal.
+    tol: f64,
 }
 
 impl KrausChannel {
@@ -31,6 +37,33 @@ impl KrausChannel {
     /// Returns an error if the list is empty, shapes are inconsistent, or the
     /// completeness relation `Σ K†K = I` fails to hold within `1e-8`.
     pub fn new(name: impl Into<String>, dims: Vec<usize>, operators: Vec<CMatrix>) -> Result<Self> {
+        Self::new_with_tolerance(name, dims, operators, 1e-8)
+    }
+
+    /// Creates a channel from explicit Kraus operators, validating the
+    /// completeness relation against a caller-chosen tolerance.
+    ///
+    /// This is the escape hatch for intentionally lossy maps (for example a
+    /// leakage-to-environment model whose Kraus sum is deliberately
+    /// sub-normalised): pass the amount of trace loss you accept as `tol` and
+    /// every downstream trace-preservation check — compile-time fold
+    /// validation and runtime [`qudit_core::guard`] superoperator checks —
+    /// widens its allowance by the same amount.
+    ///
+    /// # Errors
+    /// Returns an error if the list is empty, shapes are inconsistent, `tol`
+    /// is not finite and non-negative, or `Σ K†K = I` fails within `tol`.
+    pub fn new_with_tolerance(
+        name: impl Into<String>,
+        dims: Vec<usize>,
+        operators: Vec<CMatrix>,
+        tol: f64,
+    ) -> Result<Self> {
+        if !tol.is_finite() || tol < 0.0 {
+            return Err(CircuitError::InvalidChannel(format!(
+                "channel tolerance must be finite and non-negative, got {tol}"
+            )));
+        }
         let total: usize = dims.iter().product();
         if operators.is_empty() {
             return Err(CircuitError::InvalidChannel("empty Kraus operator list".into()));
@@ -44,8 +77,8 @@ impl KrausChannel {
                 )));
             }
         }
-        let channel = Self { name: name.into(), dims, operators };
-        if !channel.is_trace_preserving(1e-8) {
+        let channel = Self { name: name.into(), dims, operators, tol };
+        if !channel.is_trace_preserving(tol) {
             return Err(CircuitError::InvalidChannel(
                 "Kraus operators do not satisfy the completeness relation".into(),
             ));
@@ -55,7 +88,7 @@ impl KrausChannel {
 
     /// The identity channel on a `d`-level qudit.
     pub fn identity(d: usize) -> Self {
-        Self { name: "id".into(), dims: vec![d], operators: vec![CMatrix::identity(d)] }
+        Self { name: "id".into(), dims: vec![d], operators: vec![CMatrix::identity(d)], tol: 1e-8 }
     }
 
     /// Qudit depolarising channel: with probability `p` a uniformly random
@@ -75,7 +108,7 @@ impl KrausChannel {
                 operators.push(gates::weyl(d, a, b).scaled_real(weight));
             }
         }
-        Ok(Self { name: format!("depol({p:.2e})"), dims: vec![d], operators })
+        Self::new(format!("depol({p:.2e})"), vec![d], operators)
     }
 
     /// Qudit dephasing channel: off-diagonal coherences decay by `1 - γ`.
@@ -88,7 +121,7 @@ impl KrausChannel {
         for n in 0..d {
             operators.push(gates::projector(d, n).scaled_real(gamma.sqrt()));
         }
-        Ok(Self { name: format!("dephase({gamma:.2e})"), dims: vec![d], operators })
+        Self::new(format!("dephase({gamma:.2e})"), vec![d], operators)
     }
 
     /// Bosonic photon-loss (qudit amplitude-damping) channel with
@@ -112,7 +145,7 @@ impl KrausChannel {
             }
             operators.push(op);
         }
-        Ok(Self { name: format!("loss({gamma:.2e})"), dims: vec![d], operators })
+        Self::new(format!("loss({gamma:.2e})"), vec![d], operators)
     }
 
     /// Thermal excitation channel: with probability `p_up`, one excitation is
@@ -133,7 +166,7 @@ impl KrausChannel {
             let leak = if n < d - 1 { p_up } else { 0.0 };
             k0[(n, n)] = c64((1.0 - leak).sqrt(), 0.0);
         }
-        Ok(Self { name: format!("thermal({p_up:.2e})"), dims: vec![d], operators: vec![k0, k1] })
+        Self::new(format!("thermal({p_up:.2e})"), vec![d], vec![k0, k1])
     }
 
     /// Coherent over-rotation error: applies `exp(-iεH)` deterministically for
@@ -149,7 +182,7 @@ impl KrausChannel {
         }
         let u = qudit_core::linalg::expm_hermitian(h, c64(0.0, -epsilon))
             .map_err(CircuitError::Core)?;
-        Ok(Self { name: format!("overrot({epsilon:.2e})"), dims: vec![d], operators: vec![u] })
+        Self::new(format!("overrot({epsilon:.2e})"), vec![d], vec![u])
     }
 
     /// Two-qudit depolarising channel built from tensor products of Weyl
@@ -176,7 +209,7 @@ impl KrausChannel {
                 }
             }
         }
-        Ok(Self { name: format!("depol2({p:.2e})"), dims: vec![d1, d2], operators })
+        Self::new(format!("depol2({p:.2e})"), vec![d1, d2], operators)
     }
 
     /// Channel name.
@@ -192,6 +225,12 @@ impl KrausChannel {
     /// The Kraus operators.
     pub fn operators(&self) -> &[CMatrix] {
         &self.operators
+    }
+
+    /// Completeness-relation tolerance the channel was validated against at
+    /// construction (see [`KrausChannel::new_with_tolerance`]).
+    pub fn tolerance(&self) -> f64 {
+        self.tol
     }
 
     /// Checks the completeness relation `Σ K†K = I` within `tol`.

@@ -17,6 +17,9 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use qudit_core::density::DensityMatrix;
+use qudit_core::error::CoreError;
+use qudit_core::guard::{GuardConfig, GuardPolicy, HealthMetric, HealthMonitor, RunHealth};
+use qudit_core::superop::SuperPlan;
 
 use crate::circuit::Circuit;
 use crate::error::{CircuitError, Result};
@@ -25,7 +28,7 @@ use crate::observable::Observable;
 use crate::sim::apply_readout_flip;
 use crate::sim::fusion::{FusionConfig, FusionStats};
 use crate::sim::kernels::{
-    CircuitKernels, DensityKernels, DensityStep, SuperopConfig, SuperopStats,
+    CircuitKernels, DensityKernels, DensityStep, SuperFallback, SuperopConfig, SuperopStats,
 };
 
 /// A circuit compiled for density-matrix execution: the fused plan plus the
@@ -145,6 +148,7 @@ pub struct DensityMatrixSimulator {
     fusion: FusionConfig,
     superop: SuperopConfig,
     threads: usize,
+    guard: GuardConfig,
 }
 
 impl DensityMatrixSimulator {
@@ -156,6 +160,7 @@ impl DensityMatrixSimulator {
             fusion: FusionConfig::default(),
             superop: SuperopConfig::default(),
             threads: 0,
+            guard: GuardConfig::disabled(),
         }
     }
 
@@ -202,6 +207,21 @@ impl DensityMatrixSimulator {
         self
     }
 
+    /// Attaches a runtime health-guard configuration (disabled by default;
+    /// see [`qudit_core::guard`]).
+    ///
+    /// When enabled, every [`GuardConfig`] cadence the run re-sums the trace
+    /// and scans the density matrix for non-finite entries and hermiticity
+    /// defects; under [`GuardPolicy::FallBack`] each folded superoperator
+    /// sweep is additionally checked for trace preservation before it is
+    /// applied and degraded to its per-constituent path on failure. Healthy
+    /// runs are bitwise identical with guards on or off.
+    #[must_use]
+    pub fn with_guard(mut self, guard: GuardConfig) -> Self {
+        self.guard = guard;
+        self
+    }
+
     /// The attached noise model.
     pub fn noise(&self) -> &NoiseModel {
         &self.noise
@@ -234,9 +254,23 @@ impl DensityMatrixSimulator {
     /// # Errors
     /// Returns an error for invalid dimensions.
     pub fn run_compiled(&self, compiled: &CompiledDensityCircuit) -> Result<DensityMatrix> {
+        Ok(self.run_compiled_detailed(compiled)?.0)
+    }
+
+    /// Like [`DensityMatrixSimulator::run_compiled`], but also returns the
+    /// run's [`RunHealth`] report (all-zero when the guard is disabled).
+    ///
+    /// # Errors
+    /// Returns an error for invalid dimensions, or
+    /// [`CoreError::NumericalHealth`] when an enabled guard detects damage it
+    /// is not allowed to repair.
+    pub fn run_compiled_detailed(
+        &self,
+        compiled: &CompiledDensityCircuit,
+    ) -> Result<(DensityMatrix, RunHealth)> {
         let rho0 =
             DensityMatrix::zero(compiled.kernels.dims.clone()).map_err(CircuitError::Core)?;
-        self.run_compiled_from(compiled, &rho0)
+        self.run_compiled_from_detailed(compiled, &rho0)
     }
 
     /// Runs a precompiled circuit from an arbitrary initial density matrix.
@@ -250,6 +284,21 @@ impl DensityMatrixSimulator {
         compiled: &CompiledDensityCircuit,
         initial: &DensityMatrix,
     ) -> Result<DensityMatrix> {
+        Ok(self.run_compiled_from_detailed(compiled, initial)?.0)
+    }
+
+    /// Like [`DensityMatrixSimulator::run_compiled_from`], but also returns
+    /// the run's [`RunHealth`] report (all-zero when the guard is disabled).
+    ///
+    /// # Errors
+    /// Returns an error if the register or noise model differs, or
+    /// [`CoreError::NumericalHealth`] when an enabled guard detects damage it
+    /// is not allowed to repair.
+    pub fn run_compiled_from_detailed(
+        &self,
+        compiled: &CompiledDensityCircuit,
+        initial: &DensityMatrix,
+    ) -> Result<(DensityMatrix, RunHealth)> {
         self.check_noise(compiled)?;
         if initial.radix().dims() != compiled.kernels.dims {
             return Err(CircuitError::InvalidTargets(format!(
@@ -261,19 +310,74 @@ impl DensityMatrixSimulator {
         let mut rho = initial.clone();
         let mut scratch = Vec::new();
         let threads = self.resolved_threads();
-        for step in &compiled.kernels.steps {
+        let mut monitor = HealthMonitor::new(self.guard);
+        for (step_index, step) in compiled.kernels.steps.iter().enumerate() {
             match step {
                 DensityStep::Unitary { plan, kind, op } => {
                     rho.apply_unitary_prepared(plan, kind, op, &mut scratch)
                         .map_err(CircuitError::Core)?;
                 }
-                DensityStep::Super { plan, kind, sup } if threads > 1 => {
-                    rho.apply_superop_prepared_threads(plan, kind, sup, threads)
-                        .map_err(CircuitError::Core)?;
-                }
-                DensityStep::Super { plan, kind, sup } => {
-                    rho.apply_superop_prepared(plan, kind, sup, &mut scratch)
-                        .map_err(CircuitError::Core)?;
+                DensityStep::Super { plan, kind, sup, fallback, defect_tol } => {
+                    // Fault injection corrupts a *clone* of the sweep, so the
+                    // fallback path below reproduces the clean result.
+                    #[cfg(feature = "fault-inject")]
+                    let corrupted =
+                        qudit_core::guard::inject::superop_corruption(step_index).map(|delta| {
+                            let mut c = sup.clone();
+                            c[(0, 0)] += qudit_core::complex::c64(delta, 0.0);
+                            let kind = qudit_core::apply::OpKind::classify(&c);
+                            (c, kind)
+                        });
+                    #[cfg(feature = "fault-inject")]
+                    let (sup, kind) = match &corrupted {
+                        Some((c, k)) => (c, k),
+                        None => (sup, kind),
+                    };
+                    let mut degraded = false;
+                    if monitor.is_enabled()
+                        && matches!(monitor.config().policy, GuardPolicy::FallBack)
+                    {
+                        // Pre-sweep trace-preservation check; NaN defects
+                        // count as unhealthy.
+                        let defect = SuperPlan::trace_defect(sup, plan.sub_dim());
+                        if defect > defect_tol + monitor.config().tol || defect.is_nan() {
+                            if fallback.is_empty() {
+                                // Parametric sweeps carry no fallback (their
+                                // constituents would go stale on rebind).
+                                return Err(CircuitError::Core(CoreError::NumericalHealth {
+                                    step: step_index,
+                                    metric: HealthMetric::Superop,
+                                    value: defect,
+                                }));
+                            }
+                            for fb in fallback {
+                                match fb {
+                                    SuperFallback::Unitary { plan, kind, op } => rho
+                                        .apply_unitary_prepared(plan, kind, op, &mut scratch)
+                                        .map_err(CircuitError::Core)?,
+                                    SuperFallback::Kraus(ch) => rho
+                                        .apply_kraus_prepared(
+                                            &ch.plan,
+                                            ch.channel.operators(),
+                                            &ch.kinds,
+                                            &mut scratch,
+                                        )
+                                        .map_err(CircuitError::Core)?,
+                                }
+                            }
+                            monitor.record_fallback();
+                            degraded = true;
+                        }
+                    }
+                    if !degraded {
+                        if threads > 1 {
+                            rho.apply_superop_prepared_threads(plan, kind, sup, threads)
+                                .map_err(CircuitError::Core)?;
+                        } else {
+                            rho.apply_superop_prepared(plan, kind, sup, &mut scratch)
+                                .map_err(CircuitError::Core)?;
+                        }
+                    }
                 }
                 DensityStep::Kraus(ch) => {
                     rho.apply_kraus_prepared(
@@ -285,8 +389,23 @@ impl DensityMatrixSimulator {
                     .map_err(CircuitError::Core)?;
                 }
             }
+            #[cfg(feature = "fault-inject")]
+            qudit_core::guard::inject::apply_state_faults(
+                step_index,
+                rho.matrix_mut().as_mut_slice(),
+            );
+            if monitor.due() {
+                monitor.check_density(step_index, rho.matrix_mut()).map_err(CircuitError::Core)?;
+            }
         }
-        Ok(rho)
+        // Final checkpoint: guarantees at least one check per guarded run and
+        // catches damage introduced after the last cadence boundary.
+        if monitor.is_enabled() {
+            monitor
+                .check_density(compiled.kernels.steps.len(), rho.matrix_mut())
+                .map_err(CircuitError::Core)?;
+        }
+        Ok((rho, monitor.health()))
     }
 
     /// Rebinds a compiled density plan to `params` and runs it from

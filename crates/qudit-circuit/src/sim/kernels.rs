@@ -426,9 +426,34 @@ pub(crate) enum DensityStep {
     Unitary { plan: ApplyPlan, kind: OpKind, op: CMatrix },
     /// One superoperator sweep over vectorised ρ: a whole channel — possibly
     /// with folded adjacent unitaries and further channels — in one pass.
-    Super { plan: SuperPlan, kind: OpKind, sup: CMatrix },
+    /// `fallback` records the constituent operations in program order so a
+    /// sweep whose matrix fails its runtime trace-preservation check under
+    /// [`qudit_core::guard::GuardPolicy::FallBack`] can degrade to the
+    /// per-constituent path; it is empty for parameter-dependent sweeps
+    /// (their constituents would go stale on rebind, so a defect there fails
+    /// hard instead). `defect_tol` is the compile-time trace-preservation
+    /// allowance (base tolerance plus the constituents' construction
+    /// tolerances, so intentionally lossy channels stay legal).
+    Super {
+        plan: SuperPlan,
+        kind: OpKind,
+        sup: CMatrix,
+        fallback: Vec<SuperFallback>,
+        defect_tol: f64,
+    },
     /// Per-term Kraus fallback for channels whose superoperator would be
     /// over budget or cost more than `2m` strided sweeps.
+    Kraus(ChannelKernel),
+}
+
+/// One constituent of a superoperator sweep's degradation path: the original
+/// operation the sweep folded, applied directly when the sweep's matrix
+/// fails its runtime health check (see [`DensityStep::Super`]).
+#[derive(Debug, Clone)]
+pub(crate) enum SuperFallback {
+    /// A deterministic map applied as the two-sided sandwich.
+    Unitary { plan: ApplyPlan, kind: OpKind, op: CMatrix },
+    /// A channel applied on the per-term Kraus path.
     Kraus(ChannelKernel),
 }
 
@@ -574,12 +599,17 @@ impl Structure {
 enum DensityItem {
     /// A deterministic map (gate, fused block, or single-operator channel).
     /// `recipe` is present iff the operator depends on a free parameter.
+    /// `tol` is the trace-preservation allowance the item contributes to a
+    /// fold's compile-time validation: `0` for unitaries, the construction
+    /// tolerance for single-operator channels (which may be intentionally
+    /// lossy).
     Unitary {
         targets: Vec<usize>,
         plan: ApplyPlan,
         kind: OpKind,
         op: CMatrix,
         recipe: Option<OpRecipe>,
+        tol: f64,
     },
     /// A multi-operator channel; `sup` is its precomputed superoperator and
     /// classification when the channel is superop-eligible.
@@ -779,7 +809,12 @@ impl DensityFrontier<'_> {
             }
         }
         let mut parts = Vec::with_capacity(ids.len());
+        let mut fallback = Vec::with_capacity(ids.len());
         let mut parametric = false;
+        // Base slack for the compose/kron rounding, widened by each
+        // constituent's own construction tolerance so intentionally lossy
+        // channels (see `KrausChannel::new_with_tolerance`) stay legal.
+        let mut defect_tol = qudit_core::guard::GuardConfig::DEFAULT_TOL;
         for id in ids.iter() {
             // Constant parts embed into the union once, here; only the
             // parametric parts re-embed on rebind.
@@ -788,23 +823,43 @@ impl DensityFrontier<'_> {
                     parametric = true;
                     SuperPart::Parametric { recipe }
                 }
-                DensityItem::Unitary { targets, op, recipe: None, .. } => SuperPart::Const {
-                    sup: embed_super(
-                        &SuperPlan::unitary_superop(&op),
-                        &targets,
-                        &block.targets,
-                        self.dims,
-                    )?,
-                },
+                DensityItem::Unitary { targets, plan, kind, op, recipe: None, tol } => {
+                    defect_tol += tol;
+                    fallback.push(SuperFallback::Unitary { plan, kind, op: op.clone() });
+                    SuperPart::Const {
+                        sup: embed_super(
+                            &SuperPlan::unitary_superop(&op),
+                            &targets,
+                            &block.targets,
+                            self.dims,
+                        )?,
+                    }
+                }
                 DensityItem::Channel { kernel, sup } => {
                     let (sup, _) = sup.expect("merged channels carry their superoperator");
-                    SuperPart::Const {
+                    defect_tol += kernel.channel.tolerance();
+                    let part = SuperPart::Const {
                         sup: embed_super(&sup, &kernel.targets, &block.targets, self.dims)?,
-                    }
+                    };
+                    fallback.push(SuperFallback::Kraus(kernel));
+                    part
                 }
             });
         }
+        if parametric {
+            // A rebind recomposes the sweep but would leave these payloads
+            // stale, so a defect on a parametric sweep fails hard instead.
+            fallback.clear();
+        }
         let sup = compose_super_parts(&parts, &self.zeros, &block.targets, self.dims)?;
+        let defect = SuperPlan::trace_defect(&sup, block.sub_dim);
+        if defect > defect_tol || defect.is_nan() {
+            return Err(CircuitError::InvalidChannel(format!(
+                "folded superoperator on qudits {:?} is not trace preserving \
+                 (defect {defect:.3e}, allowed {defect_tol:.3e})",
+                block.targets
+            )));
+        }
         let plan = SuperPlan::new(self.radix, &block.targets).map_err(CircuitError::Core)?;
         let kind = OpKind::classify(&sup);
         self.stats.super_steps += 1;
@@ -820,7 +875,7 @@ impl DensityFrontier<'_> {
                 targets: block.targets,
             });
         }
-        self.steps.push(DensityStep::Super { plan, kind, sup });
+        self.steps.push(DensityStep::Super { plan, kind, sup, fallback, defect_tol });
         Ok(())
     }
 
@@ -948,6 +1003,7 @@ fn collect_density_items(
                 kind: kernel.kinds[0].clone(),
                 op: kernel.channel.operators()[0].clone(),
                 recipe: None,
+                tol: kernel.channel.tolerance(),
             });
             return Ok(());
         }
@@ -955,6 +1011,18 @@ fn collect_density_items(
         let sup = if config.enabled && k <= config.max_dim {
             let sup =
                 SuperPlan::kraus_superop(kernel.channel.operators()).map_err(CircuitError::Core)?;
+            // The superoperator's trace defect equals the Kraus completeness
+            // defect, so a healthy fold must sit within the channel's own
+            // construction tolerance (plus kron rounding slack).
+            let defect = SuperPlan::trace_defect(&sup, k);
+            let allowed = kernel.channel.tolerance() + 1e-9;
+            if defect > allowed || defect.is_nan() {
+                return Err(CircuitError::InvalidChannel(format!(
+                    "superoperator of channel '{}' is not trace preserving \
+                     (defect {defect:.3e}, allowed {allowed:.3e})",
+                    kernel.channel.name(),
+                )));
+            }
             let kind = OpKind::classify(&sup);
             let m = kernel.channel.operators().len();
             let profitable = !matches!(kind, OpKind::Dense) || k * k <= 2 * m * k + 2 * m;
@@ -975,6 +1043,7 @@ fn collect_density_items(
                     kind: kind.clone(),
                     op: op.clone(),
                     recipe: recipe.clone(),
+                    tol: 0.0,
                 });
                 for ch in noise {
                     push_channel(&mut items, ch.clone())?;

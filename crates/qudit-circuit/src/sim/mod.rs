@@ -37,7 +37,11 @@ pub use density::{CompiledDensityCircuit, DensityMatrixSimulator};
 pub use fusion::{FlushPolicy, FusionConfig, FusionStats};
 pub use kernels::{SuperopConfig, SuperopStats};
 pub use statevector::{CompiledCircuit, RunOutput, StatevectorSimulator};
-pub use trajectory::TrajectorySimulator;
+pub use trajectory::{TrajectoryEstimate, TrajectorySimulator};
+
+// Re-exported so guard configuration does not require a direct qudit-core
+// dependency at the call site (see `qudit_core::guard` for the full module).
+pub use qudit_core::guard::{GuardConfig, GuardPolicy, HealthMetric, RunHealth};
 
 use rand::Rng;
 

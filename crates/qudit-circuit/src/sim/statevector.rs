@@ -5,6 +5,7 @@ use std::collections::HashMap;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use qudit_core::guard::{GuardConfig, HealthMonitor, RunHealth};
 use qudit_core::state::QuditState;
 
 use crate::circuit::{Circuit, Instruction};
@@ -24,6 +25,9 @@ pub struct RunOutput {
     /// Recorded measurements, one entry per `Measure` instruction:
     /// `(targets, observed digits)`.
     pub measurements: Vec<(Vec<usize>, Vec<usize>)>,
+    /// Numerical-health report for the run. All-zero when the simulator's
+    /// [`GuardConfig`] is disabled (the default).
+    pub health: RunHealth,
 }
 
 /// A circuit compiled against a simulator's noise model and fusion
@@ -157,6 +161,7 @@ pub struct StatevectorSimulator {
     noise: NoiseModel,
     threads: usize,
     fusion: FusionConfig,
+    guard: GuardConfig,
 }
 
 impl Default for StatevectorSimulator {
@@ -173,6 +178,7 @@ impl StatevectorSimulator {
             noise: NoiseModel::noiseless(),
             threads: 0,
             fusion: FusionConfig::default(),
+            guard: GuardConfig::disabled(),
         }
     }
 
@@ -204,6 +210,20 @@ impl StatevectorSimulator {
     #[must_use]
     pub fn with_fusion(mut self, fusion: FusionConfig) -> Self {
         self.fusion = fusion;
+        self
+    }
+
+    /// Sets the runtime health-guard configuration (disabled by default; see
+    /// [`qudit_core::guard`]). With guards enabled, every `cadence` execution
+    /// steps — and once at the end of the run — the state is scanned for
+    /// non-finite amplitudes and norm drift, the configured
+    /// [`qudit_core::guard::GuardPolicy`] decides what happens on a failure,
+    /// and the run's [`RunOutput::health`] reports what the guards saw.
+    /// Checkpoints never mutate a healthy state, so a guarded clean run is
+    /// bitwise identical to an unguarded one.
+    #[must_use]
+    pub fn with_guard(mut self, guard: GuardConfig) -> Self {
+        self.guard = guard;
         self
     }
 
@@ -363,8 +383,9 @@ impl StatevectorSimulator {
         let mut measurements = Vec::new();
         let mut scratch = RunScratch::default();
         let dims = &kernels.dims;
+        let mut monitor = HealthMonitor::new(self.guard);
 
-        for step in &kernels.steps {
+        for (step_index, step) in kernels.steps.iter().enumerate() {
             match step {
                 ExecStep::Apply { plan, kind, op, noise, .. } => {
                     state
@@ -401,8 +422,22 @@ impl StatevectorSimulator {
                     }
                 }
             }
+            #[cfg(feature = "fault-inject")]
+            qudit_core::guard::inject::apply_state_faults(step_index, state.amplitudes_mut());
+            if monitor.due() {
+                monitor
+                    .check_statevector(step_index, state.amplitudes_mut())
+                    .map_err(CircuitError::Core)?;
+            }
         }
-        Ok(RunOutput { state, measurements })
+        // A final checkpoint guarantees at least one check per guarded run
+        // and catches faults introduced after the last cadence boundary.
+        if monitor.is_enabled() {
+            monitor
+                .check_statevector(kernels.steps.len(), state.amplitudes_mut())
+                .map_err(CircuitError::Core)?;
+        }
+        Ok(RunOutput { state, measurements, health: monitor.health() })
     }
 
     /// Samples `shots` end-of-circuit computational-basis measurements.

@@ -21,6 +21,7 @@ use std::collections::HashMap;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use qudit_core::guard::{GuardConfig, RunHealth};
 use qudit_core::par;
 use qudit_core::state::QuditState;
 
@@ -58,6 +59,7 @@ pub struct TrajectorySimulator {
     noise: NoiseModel,
     threads: usize,
     fusion: FusionConfig,
+    guard: GuardConfig,
 }
 
 /// Mean and standard error of a trajectory-averaged expectation value.
@@ -80,6 +82,7 @@ impl TrajectorySimulator {
             noise: NoiseModel::noiseless(),
             threads: 0,
             fusion: FusionConfig::default(),
+            guard: GuardConfig::disabled(),
         }
     }
 
@@ -110,6 +113,17 @@ impl TrajectorySimulator {
     #[must_use]
     pub fn with_fusion(mut self, fusion: FusionConfig) -> Self {
         self.fusion = fusion;
+        self
+    }
+
+    /// Attaches a runtime health-guard configuration (disabled by default;
+    /// see [`qudit_core::guard`]), forwarded to every trajectory's
+    /// statevector run. Per-trajectory [`RunHealth`] reports are summed;
+    /// retrieve the aggregate with
+    /// [`TrajectorySimulator::expectation_detailed`].
+    #[must_use]
+    pub fn with_guard(mut self, guard: GuardConfig) -> Self {
+        self.guard = guard;
         self
     }
 
@@ -152,15 +166,16 @@ impl TrajectorySimulator {
     }
 
     /// Maps `f` over the final state of every trajectory, in parallel, and
-    /// returns the per-trajectory results in trajectory order.
+    /// returns the per-trajectory results in trajectory order plus the
+    /// summed health report.
     fn map_trajectories<T: Send>(
         &self,
         circuit: &Circuit,
         f: impl Fn(usize, &QuditState) -> Result<T> + Sync,
-    ) -> Result<Vec<T>> {
+    ) -> Result<(Vec<T>, RunHealth)> {
         let mut all = Vec::with_capacity(self.n_trajectories);
-        self.fold_trajectories(circuit, f, &mut all, |acc, value| acc.push(value))?;
-        Ok(all)
+        let health = self.fold_trajectories(circuit, f, &mut all, |acc, value| acc.push(value))?;
+        Ok((all, health))
     }
 
     /// Runs every trajectory, maps its final state with `f`, and folds the
@@ -175,39 +190,45 @@ impl TrajectorySimulator {
         f: impl Fn(usize, &QuditState) -> Result<T> + Sync,
         acc: &mut A,
         fold: impl FnMut(&mut A, T),
-    ) -> Result<()> {
+    ) -> Result<RunHealth> {
         let kernels = CircuitKernels::with_config(circuit, &self.noise, &self.fusion)?;
         self.fold_trajectories_prepared(&kernels, f, acc, fold)
     }
 
     /// [`TrajectorySimulator::fold_trajectories`] over a precompiled kernel
-    /// set, the plan-reuse path behind the `_compiled` entry points.
+    /// set, the plan-reuse path behind the `_compiled` entry points. Returns
+    /// the health reports of all trajectories summed, plus any worker-pool
+    /// chunk retries.
     fn fold_trajectories_prepared<T: Send, A>(
         &self,
         kernels: &CircuitKernels,
         f: impl Fn(usize, &QuditState) -> Result<T> + Sync,
         acc: &mut A,
         mut fold: impl FnMut(&mut A, T),
-    ) -> Result<()> {
+    ) -> Result<RunHealth> {
         let initial = QuditState::zero(kernels.dims.clone()).map_err(CircuitError::Core)?;
-        let sv = StatevectorSimulator::new().with_noise(self.noise.clone());
+        let sv = StatevectorSimulator::new().with_noise(self.noise.clone()).with_guard(self.guard);
         let threads = self.resolved_threads();
         let batch = threads.max(1) * 4;
+        let mut health = RunHealth::default();
         let mut start = 0;
         while start < self.n_trajectories {
             let len = batch.min(self.n_trajectories - start);
-            let results = par::par_map_threads(len, threads, |i| {
+            let (results, retries) = par::par_map_threads_counted(len, threads, |i| {
                 let t = start + i;
                 let mut rng = StdRng::seed_from_u64(self.traj_seed(t));
                 let out = sv.run_prepared(kernels, &initial, &mut rng)?;
-                f(t, &out.state)
+                Ok::<_, CircuitError>((f(t, &out.state)?, out.health))
             });
+            health.retries += retries;
             for r in results {
-                fold(acc, r?);
+                let (value, traj_health) = r?;
+                health.merge(&traj_health);
+                fold(acc, value);
             }
             start += len;
         }
-        Ok(())
+        Ok(health)
     }
 
     /// Trajectory-averaged expectation value of an observable on the final
@@ -220,8 +241,26 @@ impl TrajectorySimulator {
         circuit: &Circuit,
         observable: &Observable,
     ) -> Result<TrajectoryEstimate> {
-        let values = self.map_trajectories(circuit, |_, state| observable.expectation(state))?;
-        Ok(estimate(&values))
+        Ok(self.expectation_detailed(circuit, observable)?.0)
+    }
+
+    /// Like [`TrajectorySimulator::expectation`], but also returns the summed
+    /// [`RunHealth`] report of all trajectories (all-zero when the guard is
+    /// disabled): total checkpoints run, worst observed drift, repairs, and
+    /// worker-pool chunk retries across the whole ensemble.
+    ///
+    /// # Errors
+    /// Returns an error for invalid instructions, observable mismatches, or
+    /// [`qudit_core::error::CoreError::NumericalHealth`] when an enabled
+    /// guard detects damage it is not allowed to repair.
+    pub fn expectation_detailed(
+        &self,
+        circuit: &Circuit,
+        observable: &Observable,
+    ) -> Result<(TrajectoryEstimate, RunHealth)> {
+        let (values, health) =
+            self.map_trajectories(circuit, |_, state| observable.expectation(state))?;
+        Ok((estimate(&values), health))
     }
 
     /// Trajectory-averaged expectation through a precompiled plan (see
@@ -327,7 +366,7 @@ impl TrajectorySimulator {
         circuit: &Circuit,
         shots_per_trajectory: usize,
     ) -> Result<HashMap<Vec<usize>, usize>> {
-        let per_traj = self.map_trajectories(circuit, |t, state| {
+        let (per_traj, _) = self.map_trajectories(circuit, |t, state| {
             let mut rng = StdRng::seed_from_u64(self.traj_seed(t).wrapping_add(0xABCD));
             let cdf = state.cdf();
             let radix = state.radix();
@@ -362,8 +401,9 @@ impl TrajectorySimulator {
     /// # Errors
     /// Returns an error for invalid instructions.
     pub fn run_single(&self, circuit: &Circuit, index: usize) -> Result<QuditState> {
-        let sv =
-            StatevectorSimulator::with_seed(self.traj_seed(index)).with_noise(self.noise.clone());
+        let sv = StatevectorSimulator::with_seed(self.traj_seed(index))
+            .with_noise(self.noise.clone())
+            .with_guard(self.guard);
         let initial = QuditState::zero(circuit.dims().to_vec()).map_err(CircuitError::Core)?;
         let mut rng = StdRng::seed_from_u64(self.traj_seed(index));
         Ok(sv.run_from_with_rng(circuit, &initial, &mut rng)?.state)

@@ -1,14 +1,26 @@
 //! Error types shared by the numerics substrate.
 
+use crate::guard::HealthMetric;
 use std::fmt;
 
 /// Result alias used throughout `qudit-core`.
 pub type Result<T> = std::result::Result<T, CoreError>;
 
 /// Errors produced by the numerics substrate.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
 pub enum CoreError {
+    /// A runtime health checkpoint detected a numerical-invariant violation
+    /// (see [`crate::guard`]).
+    NumericalHealth {
+        /// Execution-step index at which the check fired.
+        step: usize,
+        /// The violated invariant.
+        metric: HealthMetric,
+        /// The offending measured value (norm, trace, defect, or a
+        /// non-finite marker).
+        value: f64,
+    },
     /// Two objects had incompatible shapes or dimensions.
     ShapeMismatch {
         /// Description of the expected shape.
@@ -51,6 +63,9 @@ pub enum CoreError {
 impl fmt::Display for CoreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            CoreError::NumericalHealth { step, metric, value } => {
+                write!(f, "numerical health check failed at step {step}: {metric} = {value:e}")
+            }
             CoreError::ShapeMismatch { expected, found } => {
                 write!(f, "shape mismatch: expected {expected}, found {found}")
             }
@@ -91,5 +106,13 @@ mod tests {
         assert!(e.to_string().contains("at least 2"));
         let e = CoreError::NoConvergence { routine: "jacobi", iterations: 100 };
         assert!(e.to_string().contains("jacobi"));
+        let e = CoreError::NumericalHealth {
+            step: 12,
+            metric: crate::guard::HealthMetric::Norm,
+            value: 1.5,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("step 12"), "{msg}");
+        assert!(msg.contains("norm"), "{msg}");
     }
 }

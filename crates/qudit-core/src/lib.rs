@@ -85,6 +85,7 @@ pub mod apply;
 pub mod complex;
 pub mod density;
 pub mod error;
+pub mod guard;
 pub mod linalg;
 pub mod matrix;
 pub mod metrics;
@@ -99,6 +100,7 @@ pub use apply::{ApplyPlan, OpKind};
 pub use complex::{c64, Complex64};
 pub use density::DensityMatrix;
 pub use error::{CoreError, Result};
+pub use guard::{GuardConfig, GuardPolicy, HealthMetric, RunHealth};
 pub use matrix::CMatrix;
 pub use radix::Radix;
 pub use sampling::Cdf;
@@ -111,6 +113,7 @@ pub mod prelude {
     pub use crate::complex::{c64, Complex64};
     pub use crate::density::DensityMatrix;
     pub use crate::error::{CoreError, Result};
+    pub use crate::guard::{GuardConfig, GuardPolicy, HealthMetric, RunHealth};
     pub use crate::linalg::{eigh, expm, expm_hermitian};
     pub use crate::matrix::CMatrix;
     pub use crate::metrics::{

@@ -26,8 +26,13 @@
 //!   the order invariance contract is untouched: requesting more chunks than
 //!   there are workers just queues them.
 //! * A chunk that panics reports the panic back; the caller drains **all**
-//!   outstanding chunks before resuming the unwind, so borrowed data is never
-//!   observed after the stack frame that owns it starts unwinding.
+//!   outstanding chunks before acting on the failure, so borrowed data is
+//!   never observed after the stack frame that owns it starts unwinding.
+//!   A failed chunk is then **retried once, serially, on the calling
+//!   thread** — sound because chunks are pure functions of the index — and
+//!   only a second failure propagates the panic. [`par_map_threads_counted`]
+//!   reports the number of such retries so guarded runs can record them in
+//!   their health report (see [`crate::guard::RunHealth::retries`]).
 //! * Workers never call back into the pool: a nested `par_map` on a worker
 //!   thread runs serially, which keeps the queue deadlock-free.
 //!
@@ -151,16 +156,28 @@ where
 /// Maps `f` over `0..n` in up to `threads` contiguous chunks evaluated on the
 /// persistent worker pool, preserving index order. `threads <= 1` runs
 /// serially on the calling thread; the result is bitwise identical for every
-/// `threads` value.
-#[allow(unsafe_code)] // one lifetime erasure, justified below
+/// `threads` value. A chunk that panics is retried once serially before the
+/// panic propagates (see [`par_map_threads_counted`] to observe the count).
 pub fn par_map_threads<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    par_map_threads_counted(n, threads, f).0
+}
+
+/// [`par_map_threads`] that additionally reports how many chunks panicked
+/// and were recovered by the serial retry. Guarded simulator runs surface
+/// the count as [`crate::guard::RunHealth::retries`].
+#[allow(unsafe_code)] // one lifetime erasure, justified below
+pub fn par_map_threads_counted<T, F>(n: usize, threads: usize, f: F) -> (Vec<T>, usize)
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
     let threads = threads.max(1).min(n);
     if threads <= 1 || IS_POOL_WORKER.with(Cell::get) {
-        return (0..n).map(f).collect();
+        return ((0..n).map(f).collect(), 0);
     }
 
     // Contiguous chunks: chunk t evaluates [starts[t], starts[t+1]).
@@ -183,8 +200,16 @@ where
         for (idx, range) in ranges.iter().enumerate().skip(1) {
             let range = range.clone();
             let done_tx = done_tx.clone();
+            // Chunk faults are decided here, on the dispatching thread, so
+            // the injection harness works at any thread count.
+            #[cfg(feature = "fault-inject")]
+            let injected = chunk_injection(idx);
             let job: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
-                let result = catch_unwind(AssertUnwindSafe(|| range.map(f).collect::<Vec<T>>()));
+                let result = catch_unwind(AssertUnwindSafe(|| {
+                    #[cfg(feature = "fault-inject")]
+                    injected.fire(idx);
+                    range.map(f).collect::<Vec<T>>()
+                }));
                 // The send is the job's completion signal; it must be the
                 // last use of any borrowed data and it cannot panic.
                 let _ = done_tx.send((idx, result));
@@ -206,27 +231,74 @@ where
     }
 
     // The calling thread contributes the first chunk instead of idling.
-    let own = catch_unwind(AssertUnwindSafe(|| ranges[0].clone().map(f).collect::<Vec<T>>()));
+    #[cfg(feature = "fault-inject")]
+    let own_injected = chunk_injection(0);
+    let own = catch_unwind(AssertUnwindSafe(|| {
+        #[cfg(feature = "fault-inject")]
+        own_injected.fire(0);
+        ranges[0].clone().map(f).collect::<Vec<T>>()
+    }));
 
     let mut slots: Vec<Option<Vec<T>>> = Vec::with_capacity(threads);
     slots.resize_with(threads, || None);
-    let mut worker_panic = None;
+    let mut failed: Vec<usize> = Vec::new();
     for _ in 1..threads {
         let (idx, result) = done_rx.recv().expect("pool job always reports completion");
         match result {
             Ok(values) => slots[idx] = Some(values),
-            Err(payload) => worker_panic = Some(payload),
+            Err(_) => failed.push(idx),
         }
     }
-    // All jobs are quiescent from here on; propagating a panic is now safe.
+    // All jobs are quiescent from here on; every borrow of `f` and the
+    // result channel has ended, so retrying serially — or unwinding — is
+    // safe. Each failed chunk is re-evaluated once on this thread: chunks
+    // are pure functions of the index, so a transient failure recovers the
+    // exact serial result and a deterministic one panics again.
     match own {
         Ok(values) => slots[0] = Some(values),
-        Err(payload) => resume_unwind(payload),
+        Err(_) => failed.push(0),
     }
-    if let Some(payload) = worker_panic {
-        resume_unwind(payload);
+    let mut retries = 0usize;
+    failed.sort_unstable();
+    for idx in failed {
+        match catch_unwind(AssertUnwindSafe(|| ranges[idx].clone().map(f).collect::<Vec<T>>())) {
+            Ok(values) => {
+                slots[idx] = Some(values);
+                retries += 1;
+            }
+            Err(payload) => resume_unwind(payload),
+        }
     }
-    slots.into_iter().flat_map(|v| v.expect("every chunk reported")).collect()
+    (slots.into_iter().flat_map(|v| v.expect("every chunk reported")).collect(), retries)
+}
+
+/// Chunk-level fault decisions for one dispatch, taken on the caller thread
+/// (the injection registry is thread-local) and moved into the job.
+#[cfg(feature = "fault-inject")]
+#[derive(Clone, Copy)]
+struct ChunkInjection {
+    panic: bool,
+    slow_millis: Option<u64>,
+}
+
+#[cfg(feature = "fault-inject")]
+fn chunk_injection(idx: usize) -> ChunkInjection {
+    ChunkInjection {
+        panic: crate::guard::inject::take_chunk_panic(idx),
+        slow_millis: crate::guard::inject::chunk_slow_millis(idx),
+    }
+}
+
+#[cfg(feature = "fault-inject")]
+impl ChunkInjection {
+    fn fire(self, idx: usize) {
+        if let Some(millis) = self.slow_millis {
+            std::thread::sleep(std::time::Duration::from_millis(millis));
+        }
+        if self.panic {
+            panic!("injected fault: pool chunk {idx} panicked");
+        }
+    }
 }
 
 #[cfg(test)]
@@ -301,6 +373,33 @@ mod tests {
         let expected: Vec<usize> =
             (0..8).map(|i| (0..4).map(|j| i * 10 + j).sum::<usize>()).collect();
         assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn transient_panic_is_retried_serially_with_identical_output() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let serial: Vec<u64> = (0..200).map(|i| (i as u64).wrapping_mul(0x5851F42D)).collect();
+        // The first evaluation of index 57 panics; the serial retry of its
+        // chunk must recover the exact serial result and report one retry.
+        let armed = AtomicBool::new(true);
+        let (out, retries) = par_map_threads_counted(200, 8, |i| {
+            if i == 57 && armed.swap(false, Ordering::SeqCst) {
+                panic!("transient failure at {i}");
+            }
+            (i as u64).wrapping_mul(0x5851F42D)
+        });
+        assert_eq!(out, serial);
+        assert_eq!(retries, 1);
+    }
+
+    #[test]
+    fn counted_map_reports_zero_retries_on_clean_runs() {
+        let (out, retries) = par_map_threads_counted(64, 4, |i| i * 2);
+        assert_eq!(out, (0..64).map(|i| i * 2).collect::<Vec<_>>());
+        assert_eq!(retries, 0);
+        // Serial path also reports zero.
+        let (_, retries) = par_map_threads_counted(8, 1, |i| i);
+        assert_eq!(retries, 0);
     }
 
     #[test]

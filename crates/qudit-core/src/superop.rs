@@ -126,6 +126,43 @@ impl SuperPlan {
         u.kron(&u.conj())
     }
 
+    /// Trace-preservation defect of a `k² × k²` superoperator in this
+    /// module's row-major `vec(ρ)` convention: trace preservation requires
+    /// `Σ_i S[i·k+i, j·k+l] = δ_{jl}` for every `(j, l)` (for
+    /// `S = Σ_m K_m ⊗ conj(K_m)` the column sum equals `(Σ_m K_m†K_m)[l, j]`,
+    /// so this is exactly the Kraus completeness defect). Returns the worst
+    /// absolute deviation; `0` for an exactly trace-preserving map.
+    ///
+    /// A matrix of the wrong shape, or one containing NaN, is maximally
+    /// defective: the result is infinite or NaN (both compare `> tol` as
+    /// `!(defect <= tol)`), never a false pass.
+    ///
+    /// Cost is `O(k⁴)` — one visit per superoperator entry — which is cheap
+    /// next to the `O(N²k²)` sweep that applies `S`, so runtime guards can
+    /// afford it per sweep.
+    pub fn trace_defect(sup: &CMatrix, k: usize) -> f64 {
+        if sup.rows() != k * k || sup.cols() != k * k {
+            return f64::INFINITY;
+        }
+        let mut worst = 0.0f64;
+        for j in 0..k {
+            for l in 0..k {
+                let mut acc = Complex64::ZERO;
+                for i in 0..k {
+                    acc += sup[(i * k + i, j * k + l)];
+                }
+                let target = if j == l { 1.0 } else { 0.0 };
+                let defect = (acc - target).abs();
+                // `>` is false for NaN; carry NaN explicitly so a poisoned
+                // superoperator can never report a finite defect.
+                if defect > worst || defect.is_nan() {
+                    worst = defect;
+                }
+            }
+        }
+        worst
+    }
+
     /// Applies a superoperator (with precomputed [`OpKind`]) to a row-major
     /// density matrix given as its flat `N²` data slice: one strided sweep,
     /// one scratch buffer, all Kraus terms at once.
@@ -305,6 +342,32 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn trace_defect_is_zero_for_tp_channels_and_detects_corruption() {
+        let mut rng = StdRng::seed_from_u64(11);
+        // Trace-preserving superoperators: unitary and photon-loss-style.
+        let u = haar_unitary(&mut rng, 3).unwrap();
+        let sup = SuperPlan::unitary_superop(&u);
+        assert!(SuperPlan::trace_defect(&sup, 3) < 1e-12);
+
+        // A lossy (trace-decreasing) map has a defect equal to its loss.
+        let lossy = vec![CMatrix::identity(2).scaled_real(0.5f64.sqrt())];
+        let sup = SuperPlan::kraus_superop(&lossy).unwrap();
+        assert!((SuperPlan::trace_defect(&sup, 2) - 0.5).abs() < 1e-12);
+
+        // Corrupting a single entry shows up as a defect of the same size.
+        let mut sup = SuperPlan::unitary_superop(&u);
+        sup[(0, 0)] += c64(0.05, 0.0);
+        assert!(SuperPlan::trace_defect(&sup, 3) > 0.04);
+
+        // NaN poisoning and shape mismatches can never report healthy.
+        let mut poisoned = SuperPlan::unitary_superop(&u);
+        poisoned[(4, 4)] = c64(f64::NAN, 0.0);
+        let defect = SuperPlan::trace_defect(&poisoned, 3);
+        assert!(defect > 1e-6 || defect.is_nan());
+        assert!(SuperPlan::trace_defect(&CMatrix::identity(4), 3).is_infinite());
     }
 
     #[test]
