@@ -1,25 +1,28 @@
-//! Kernel benchmark harness for PR 6: times the runtime health guards on the
-//! Table-I workloads on top of the PR-1/2/3/4/5 rows, prints a summary table
-//! and writes the numbers to `BENCH_6.json`.
+//! Kernel benchmark harness for PR 7: times the serving layer (shared plan
+//! cache, cancellation latency) on top of the PR-1/2/3/4/5/6 rows, prints a
+//! summary table and writes the numbers to `BENCH_7.json`.
 //!
 //! The earlier rows (trajectory expectation, deterministic sampling, raw
 //! sampler, measure/collapse, statevector fusion, syndrome-extraction flush
-//! policies, Lindblad, density superoperator batching, QAOA rebind sweep,
-//! `par_map` overhead) are re-measured unchanged so regressions against
-//! earlier BENCH files are visible; `statevector_run` keeps its anchor to
-//! BENCH_1's frozen optimized time. The new rows isolate what PR 6 adds:
+//! policies, Lindblad, density superoperator batching, guard overhead, QAOA
+//! rebind sweep, `par_map` overhead) are re-measured unchanged so regressions
+//! against earlier BENCH files are visible; `statevector_run` keeps its
+//! anchor to BENCH_1's frozen optimized time. The new rows isolate what PR 7
+//! adds:
 //!
-//! * `statevector_run_guarded` — the fused statevector run with invariant
-//!   checkpoints at the default cadence vs the same run unguarded. The
-//!   "speedup" column is guard overhead inverted: CI asserts ≥ 0.95 (i.e.
-//!   the guards cost at most ~5%) and that at least one checkpoint ran.
-//! * `density_run_noisy_guarded` — the superop-batched noisy density run
-//!   with trace/hermiticity checkpoints vs unguarded, same contract.
+//! * `serve_mixed_workload` — a mixed QAOA-sweep + noisy-reservoir job batch
+//!   through [`ServeEngine`] with the shared single-flight plan cache vs the
+//!   same engine compiling every request from scratch
+//!   (`plan_cache_capacity(0)`). CI asserts the cached engine is ≥ 2x.
+//! * `serve_cancellation_latency` — time from `JobHandle::cancel()` on an
+//!   in-flight density job to the job resolving `Cancelled`. CI asserts the
+//!   latency stays within 2 guard-cadence intervals of that workload's
+//!   per-step execution time.
 //!
 //! Run with `cargo run --release -p bench --bin bench_kernels`.
 
 use std::collections::HashMap;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -33,6 +36,45 @@ use qudit_circuit::sim::{
 use qudit_circuit::Observable;
 use qudit_core::density::DensityMatrix;
 use qudit_core::state::QuditState;
+use qudit_serve::{JobOutcome, JobSpec, ServeConfig, ServeEngine, ServeStats};
+
+/// Compile-heavy, run-light parameterized circuit for the serving rows: a
+/// QAOA-style two-qutrit mixer ladder whose per-layer angles are free
+/// parameters, so every request in a sweep shares one structural hash.
+fn serve_param_circuit(layers: usize) -> qudit_circuit::Circuit {
+    let mut c = qudit_circuit::Circuit::new(vec![3, 3]);
+    let mixer = qudit_core::matrix::CMatrix::from_fn(3, 3, |r, s| {
+        if r.abs_diff(s) == 1 {
+            qudit_core::complex::c64(1.0, 0.0)
+        } else {
+            qudit_core::complex::c64(0.0, 0.0)
+        }
+    });
+    for layer in 0..layers {
+        c.push(qudit_circuit::Gate::fourier(3), &[layer % 2]).unwrap();
+        c.push(qudit_circuit::Gate::csum(3, 3), &[0, 1]).unwrap();
+        let g = qudit_circuit::Gate::parameterized(
+            format!("mix{layer}"),
+            vec![3],
+            &mixer,
+            qudit_circuit::Param::Free(layer),
+        )
+        .unwrap();
+        c.push(g, &[layer % 2]).unwrap();
+    }
+    c
+}
+
+/// Reservoir-style dissipative circuit on `qudits` qutrits: repeated
+/// Fourier + CSUM couplings, served through the noisy density backend.
+fn serve_reservoir_circuit(qudits: usize, depth: usize) -> qudit_circuit::Circuit {
+    let mut c = qudit_circuit::Circuit::new(vec![3; qudits]);
+    for i in 0..depth {
+        c.push(qudit_circuit::Gate::fourier(3), &[i % qudits]).unwrap();
+        c.push(qudit_circuit::Gate::csum(3, 3), &[i % qudits, (i + 1) % qudits]).unwrap();
+    }
+    c
+}
 
 /// Best-of-`reps` wall-clock seconds for one invocation of `f`.
 fn time_best(reps: usize, mut f: impl FnMut()) -> f64 {
@@ -610,6 +652,149 @@ fn main() {
         });
     }
 
+    // --- Serving layer: shared plan cache on a mixed workload. -----------
+    // The serving-layer shape of the rebind story: topologically identical
+    // requests (a QAOA parameter sweep plus noisy reservoir probes) differ
+    // only in bindings, so one compiled plan per backend serves the whole
+    // batch. The baseline engine runs the same jobs with the plan cache
+    // disabled, paying the full compilation pipeline per request.
+    let serve_workers = 4usize;
+    let serve_pairs = 12usize;
+    let serve_layers = 8usize;
+    let serve_noise = NoiseModel::depolarizing(0.01, 0.005);
+    let serve_sv_circuit = serve_param_circuit(serve_layers);
+    let serve_density_circuit = serve_reservoir_circuit(2, 10);
+    let serve_thetas =
+        |i: usize| -> Vec<f64> { (0..serve_layers).map(|l| 0.1 + 0.15 * (i + l) as f64).collect() };
+    let run_mixed = |capacity: usize| -> (Vec<Vec<f64>>, ServeStats) {
+        let engine = ServeEngine::start(
+            ServeConfig::default()
+                .with_workers(serve_workers)
+                .with_plan_cache_capacity(capacity)
+                .with_noise(serve_noise.clone())
+                .with_seed(17),
+        );
+        let mut handles = Vec::new();
+        for i in 0..serve_pairs {
+            let spec = JobSpec::statevector(serve_sv_circuit.clone()).with_params(serve_thetas(i));
+            handles.push(engine.submit(spec).unwrap());
+            handles.push(engine.submit(JobSpec::density(serve_density_circuit.clone())).unwrap());
+        }
+        let results = handles
+            .iter()
+            .map(|h| match h.wait() {
+                JobOutcome::Completed(values) => values,
+                other => panic!("serve job did not complete: {other:?}"),
+            })
+            .collect();
+        (results, engine.stats())
+    };
+    // Determinism cross-check: cached and compile-per-request engines assign
+    // the same per-job seeds, so every outcome must match bitwise; the cached
+    // engine must compile exactly once per backend.
+    let (cached_results, serve_stats) = run_mixed(32);
+    let (percompile_results, percompile_stats) = run_mixed(0);
+    assert_eq!(cached_results, percompile_results, "plan cache changed job results");
+    assert_eq!(
+        (serve_stats.statevector_cache.misses, serve_stats.density_cache.misses),
+        (1, 1),
+        "the sweep must share one compiled plan per backend: {serve_stats:?}"
+    );
+    assert_eq!(
+        (percompile_stats.statevector_cache.hits, percompile_stats.density_cache.hits),
+        (0, 0),
+        "a zero-capacity cache must never hit: {percompile_stats:?}"
+    );
+    let serve_cached_s = time_best(3, || {
+        std::hint::black_box(run_mixed(32));
+    });
+    let serve_percompile_s = time_best(3, || {
+        std::hint::black_box(run_mixed(0));
+    });
+    assert!(
+        serve_percompile_s / serve_cached_s >= 2.0,
+        "cached-plan throughput must be >= 2x compile-per-request \
+         ({:.3} ms vs {:.3} ms)",
+        serve_cached_s * 1e3,
+        serve_percompile_s * 1e3
+    );
+    entries.push(Entry {
+        name: "serve_mixed_workload".into(),
+        detail: format!(
+            "{} mixed jobs ({serve_pairs}-point QAOA sweep dim {} + {serve_pairs} noisy \
+             reservoir probes dim {}) on {serve_workers} workers; shared single-flight plan \
+             cache (1 compile per backend) vs compile-per-request",
+            2 * serve_pairs,
+            serve_sv_circuit.total_dim(),
+            serve_density_circuit.total_dim()
+        ),
+        baseline_s: Some(serve_percompile_s),
+        optimized_s: serve_cached_s,
+    });
+
+    // --- Serving layer: cancellation latency on an in-flight job. --------
+    // Cancellation is observed at guard-cadence checkpoints, so the contract
+    // is relative: from `cancel()` to the job resolving `Cancelled` must take
+    // at most two cadence intervals of this workload's own per-step time.
+    let cancel_cadence = GuardConfig::DEFAULT_CADENCE;
+    let cancel_circuit = serve_reservoir_circuit(4, 60);
+    let cancel_steps = DensityMatrixSimulator::new()
+        .with_noise(serve_noise.clone())
+        .compile(&cancel_circuit)
+        .unwrap()
+        .num_steps();
+    let cancel_engine = ServeEngine::start(
+        ServeConfig::default()
+            .with_workers(1)
+            .with_guard(GuardConfig::enabled())
+            .with_noise(serve_noise.clone())
+            .with_seed(17),
+    );
+    let cancel_full_s = time_best(3, || {
+        let handle = cancel_engine.submit(JobSpec::density(cancel_circuit.clone())).unwrap();
+        match handle.wait() {
+            JobOutcome::Completed(_) => {}
+            other => panic!("uncancelled reference job failed: {other:?}"),
+        }
+    });
+    let cancel_interval_s = cancel_full_s / cancel_steps as f64 * cancel_cadence as f64;
+    let cancel_budget_s = 2.0 * cancel_interval_s;
+    let mut cancel_latency_s = f64::INFINITY;
+    for _ in 0..5 {
+        let handle = cancel_engine.submit(JobSpec::density(cancel_circuit.clone())).unwrap();
+        // Let the single worker get well into the run before cancelling.
+        std::thread::sleep(Duration::from_secs_f64(cancel_full_s * 0.4));
+        let start = Instant::now();
+        handle.cancel();
+        let outcome = handle.wait();
+        let latency = start.elapsed().as_secs_f64();
+        assert!(
+            matches!(outcome, JobOutcome::Cancelled(_)),
+            "expected mid-run cancellation, got {outcome:?}"
+        );
+        cancel_latency_s = cancel_latency_s.min(latency);
+    }
+    assert!(
+        cancel_latency_s <= cancel_budget_s,
+        "cancellation latency {:.3} ms exceeds 2 cadence intervals ({:.3} ms; \
+         {cancel_steps} steps in {:.3} ms, cadence {cancel_cadence})",
+        cancel_latency_s * 1e3,
+        cancel_budget_s * 1e3,
+        cancel_full_s * 1e3
+    );
+    entries.push(Entry {
+        name: "serve_cancellation_latency".into(),
+        detail: format!(
+            "cancel() on an in-flight noisy density job (dim {}, {cancel_steps} exec steps, \
+             cadence {cancel_cadence}); latency vs the full uncancelled run — budget is \
+             2 cadence intervals = {:.3} ms",
+            cancel_circuit.total_dim(),
+            cancel_budget_s * 1e3
+        ),
+        baseline_s: Some(cancel_full_s),
+        optimized_s: cancel_latency_s,
+    });
+
     // --- Report. ---------------------------------------------------------
     let rows: Vec<Vec<String>> = entries
         .iter()
@@ -623,13 +808,13 @@ fn main() {
         })
         .collect();
     print_table(
-        "PR 6 kernel benchmarks (best-of-N wall clock)",
+        "PR 7 kernel benchmarks (best-of-N wall clock)",
         &["kernel", "baseline ms", "optimized ms", "speedup"],
         &rows,
     );
 
-    // --- BENCH_6.json (hand-rolled: no JSON dependency offline). ---------
-    let mut json = String::from("{\n  \"bench\": 6,\n");
+    // --- BENCH_7.json (hand-rolled: no JSON dependency offline). ---------
+    let mut json = String::from("{\n  \"bench\": 7,\n");
     json.push_str(&format!(
         "  \"workload\": {{\"circuit\": \"small_sqed_circuit\", \"sites\": {sites}, \"link_dim\": {d}, \"trotter_steps\": {steps}, \"dim\": {dim}}},\n"
     ));
@@ -670,6 +855,15 @@ fn main() {
         sv_guard_health.renormalizations + density_guard_health.renormalizations,
         sv_guard_health.fallbacks + density_guard_health.fallbacks
     ));
+    json.push_str(&format!(
+        "  \"serve\": {{\"workers\": {serve_workers}, \"jobs\": {}, \"plan_cache_capacity\": 32, \"sv_cache_hits\": {}, \"sv_cache_misses\": {}, \"density_cache_hits\": {}, \"density_cache_misses\": {}, \"cancel_steps\": {cancel_steps}, \"cancel_cadence\": {cancel_cadence}, \"cancel_budget_ms\": {:.3}}},\n",
+        2 * serve_pairs,
+        serve_stats.statevector_cache.hits,
+        serve_stats.statevector_cache.misses,
+        serve_stats.density_cache.hits,
+        serve_stats.density_cache.misses,
+        cancel_budget_s * 1e3
+    ));
     json.push_str(&format!("  \"threads\": {},\n", qudit_core::par::max_threads()));
     json.push_str(&format!("  \"pool_workers\": {},\n", qudit_core::par::pool_workers()));
     json.push_str("  \"results\": [\n");
@@ -685,6 +879,6 @@ fn main() {
         ));
     }
     json.push_str("  ]\n}\n");
-    std::fs::write("BENCH_6.json", &json).expect("write BENCH_6.json");
-    println!("\nwrote BENCH_6.json");
+    std::fs::write("BENCH_7.json", &json).expect("write BENCH_7.json");
+    println!("\nwrote BENCH_7.json");
 }

@@ -58,8 +58,11 @@ pub fn cat_state(d: usize, alpha: Complex64, even: bool) -> Result<QuditState> {
 /// truncated to `d` levels and renormalised.
 ///
 /// # Errors
-/// Returns an error if `nbar` is negative.
+/// Returns an error if `d` is zero or `nbar` is negative.
 pub fn thermal_density(d: usize, nbar: f64) -> Result<CMatrix> {
+    if d == 0 {
+        return Err(CoreError::InvalidDimension(0));
+    }
     if nbar < 0.0 {
         return Err(CoreError::InvalidArgument(format!(
             "mean photon number must be non-negative, got {nbar}"

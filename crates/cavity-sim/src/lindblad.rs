@@ -121,6 +121,22 @@ impl LindbladSystem {
         Ok(self)
     }
 
+    /// Validates a drive term returned by a caller-supplied closure so a
+    /// malformed closure surfaces as [`CoreError::ShapeMismatch`] instead of
+    /// panicking deep inside the integrator.
+    fn checked_drive(&self, term: Option<CMatrix>) -> Result<Option<CMatrix>> {
+        if let Some(m) = &term {
+            let n = self.radix.total_dim();
+            if m.rows() != n || m.cols() != n {
+                return Err(CavityError::Core(CoreError::ShapeMismatch {
+                    expected: format!("{n}x{n} drive term"),
+                    found: format!("{}x{} drive term", m.rows(), m.cols()),
+                }));
+            }
+        }
+        Ok(term)
+    }
+
     /// Right-hand side of the master equation evaluated at `rho`, written
     /// into `out` using the workspace's scratch matrices — no allocations.
     ///
@@ -207,7 +223,9 @@ impl LindbladSystem {
     /// observables via `callback`.
     ///
     /// # Errors
-    /// Returns an error if the register differs or parameters are invalid.
+    /// Returns an error if the register differs, parameters are invalid, or
+    /// the drive closure returns a matrix whose shape does not match the
+    /// system dimension.
     pub fn evolve_with_drive(
         &self,
         rho: &mut DensityMatrix,
@@ -237,7 +255,7 @@ impl LindbladSystem {
         for step in 0..steps {
             let time = step as f64 * h;
 
-            let d1 = drive(time);
+            let d1 = self.checked_drive(drive(time))?;
             self.rhs_into(
                 rho.matrix(),
                 d1.as_ref(),
@@ -249,7 +267,7 @@ impl LindbladSystem {
 
             ws.stage.copy_from(rho.matrix()).map_err(CavityError::Core)?;
             ws.stage.axpy(c64(h / 2.0, 0.0), &ws.k1).map_err(CavityError::Core)?;
-            let d2 = drive(time + h / 2.0);
+            let d2 = self.checked_drive(drive(time + h / 2.0))?;
             self.rhs_into(
                 &ws.stage,
                 d2.as_ref(),
@@ -272,7 +290,7 @@ impl LindbladSystem {
 
             ws.stage.copy_from(rho.matrix()).map_err(CavityError::Core)?;
             ws.stage.axpy(c64(h, 0.0), &ws.k3).map_err(CavityError::Core)?;
-            let d4 = drive(time + h);
+            let d4 = self.checked_drive(drive(time + h))?;
             self.rhs_into(
                 &ws.stage,
                 d4.as_ref(),

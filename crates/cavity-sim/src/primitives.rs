@@ -91,9 +91,21 @@ impl Primitive {
     }
 
     /// The ideal gate implemented by this primitive for the given mode
-    /// dimensions (readout has no unitary and returns `None`).
-    pub fn ideal_gate(&self, dims: &[usize]) -> Option<Gate> {
-        match self {
+    /// dimensions (readout has no unitary and returns `Ok(None)`).
+    ///
+    /// # Errors
+    /// Returns an error if `dims` does not provide one dimension per mode
+    /// the primitive acts on.
+    pub fn ideal_gate(&self, dims: &[usize]) -> Result<Option<Gate>> {
+        if dims.len() != self.arity() {
+            return Err(CavityError::InvalidParameter(format!(
+                "primitive {:?} acts on {} mode(s), got {} dimension(s)",
+                self,
+                self.arity(),
+                dims.len()
+            )));
+        }
+        Ok(match self {
             Primitive::Snap { phases } => Some(Gate::snap(dims[0], phases)),
             Primitive::Displacement { alpha_re, alpha_im } => {
                 Some(Gate::displacement(dims[0], Complex64::new(*alpha_re, *alpha_im)))
@@ -103,7 +115,7 @@ impl Primitive {
             }
             Primitive::Csum => Some(Gate::csum(dims[0], dims[1])),
             Primitive::Readout => None,
-        }
+        })
     }
 
     /// Binds the primitive to device modes, resolving duration and error.
@@ -180,8 +192,15 @@ impl PrimitiveSchedule {
         let mut circuit = Circuit::new(register_dims.to_vec());
         for op in &self.ops {
             let targets: Vec<usize> = op.modes.iter().map(|&m| mode_to_register(m)).collect();
+            if let Some(&bad) = targets.iter().find(|&&t| t >= register_dims.len()) {
+                return Err(CavityError::InvalidIndex(format!(
+                    "mode_to_register mapped a mode to qudit {bad}, but the register has \
+                     only {} qudits",
+                    register_dims.len()
+                )));
+            }
             let dims: Vec<usize> = targets.iter().map(|&t| register_dims[t]).collect();
-            let gate = op.primitive.ideal_gate(&dims).ok_or_else(|| {
+            let gate = op.primitive.ideal_gate(&dims)?.ok_or_else(|| {
                 CavityError::InvalidParameter(
                     "cannot expand a readout primitive into a unitary circuit".into(),
                 )
@@ -253,9 +272,9 @@ mod tests {
 
     #[test]
     fn ideal_gates_exist_for_unitary_primitives() {
-        assert!(Primitive::Snap { phases: vec![0.0; 4] }.ideal_gate(&[4]).is_some());
-        assert!(Primitive::Csum.ideal_gate(&[3, 3]).is_some());
-        assert!(Primitive::Readout.ideal_gate(&[4]).is_none());
+        assert!(Primitive::Snap { phases: vec![0.0; 4] }.ideal_gate(&[4]).unwrap().is_some());
+        assert!(Primitive::Csum.ideal_gate(&[3, 3]).unwrap().is_some());
+        assert!(Primitive::Readout.ideal_gate(&[4]).unwrap().is_none());
     }
 
     #[test]

@@ -337,6 +337,99 @@ impl Circuit {
         Ok(u)
     }
 
+    /// A 64-bit **structural hash** of the circuit: register dimensions,
+    /// instruction kinds and order, targets, gate identities (name, dims,
+    /// matrix bit patterns, parameter), and channel identities. Two circuits
+    /// hash equal iff they would compile to the same execution plan under a
+    /// fixed simulator configuration, so the hash is the plan-cache key of
+    /// the serving layer — note in particular that a *free* parameter hashes
+    /// by its index, not its value, which is exactly right for a cache of
+    /// rebindable plans (one cached plan serves every binding).
+    ///
+    /// The hash is FNV-1a over a canonical byte encoding; it is stable within
+    /// a process run and across runs on the same platform, but is not a
+    /// cryptographic commitment.
+    pub fn structural_hash(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FNV_OFFSET;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(FNV_PRIME);
+            }
+        };
+        let eat_usize = |eat: &mut dyn FnMut(&[u8]), v: usize| eat(&(v as u64).to_le_bytes());
+        let eat_matrix = |eat: &mut dyn FnMut(&[u8]), m: &CMatrix| {
+            eat(&(m.rows() as u64).to_le_bytes());
+            eat(&(m.cols() as u64).to_le_bytes());
+            for z in m.as_slice() {
+                eat(&z.re.to_bits().to_le_bytes());
+                eat(&z.im.to_bits().to_le_bytes());
+            }
+        };
+        eat_usize(&mut eat, self.radix.len());
+        for &d in self.radix.dims() {
+            eat_usize(&mut eat, d);
+        }
+        for inst in &self.instructions {
+            match inst {
+                Instruction::Unitary { gate, targets } => {
+                    eat(&[0]);
+                    eat(gate.name().as_bytes());
+                    eat(&[0xFF]); // name terminator, so "ab"+"c" != "a"+"bc"
+                    for &d in gate.dims() {
+                        eat_usize(&mut eat, d);
+                    }
+                    eat_matrix(&mut eat, gate.matrix());
+                    match gate.param() {
+                        None => eat(&[0]),
+                        Some(crate::gate::Param::Bound(v)) => {
+                            eat(&[1]);
+                            eat(&v.to_bits().to_le_bytes());
+                        }
+                        Some(crate::gate::Param::Free(idx)) => {
+                            eat(&[2]);
+                            eat_usize(&mut eat, idx);
+                        }
+                    }
+                    for &t in targets {
+                        eat_usize(&mut eat, t);
+                    }
+                }
+                Instruction::Measure { targets } => {
+                    eat(&[1]);
+                    eat_usize(&mut eat, targets.len());
+                    for &t in targets {
+                        eat_usize(&mut eat, t);
+                    }
+                }
+                Instruction::Reset { target } => {
+                    eat(&[2]);
+                    eat_usize(&mut eat, *target);
+                }
+                Instruction::Channel { channel, targets } => {
+                    eat(&[3]);
+                    eat(channel.name().as_bytes());
+                    eat(&[0xFF]);
+                    for &d in channel.dims() {
+                        eat_usize(&mut eat, d);
+                    }
+                    eat(&channel.tolerance().to_bits().to_le_bytes());
+                    eat_usize(&mut eat, channel.operators().len());
+                    for op in channel.operators() {
+                        eat_matrix(&mut eat, op);
+                    }
+                    for &t in targets {
+                        eat_usize(&mut eat, t);
+                    }
+                }
+                Instruction::Barrier => eat(&[4]),
+            }
+        }
+        h
+    }
+
     /// The inverse circuit: daggered gates in reverse order.
     ///
     /// # Errors
@@ -474,6 +567,76 @@ mod tests {
         assert_eq!(bound.num_params(), 0);
         assert!(bound.unitary().is_ok());
         assert!(c.with_bound(&[0.1]).is_err(), "short bindings rejected");
+    }
+
+    #[test]
+    fn structural_hash_distinguishes_structure() {
+        let mut a = Circuit::uniform(2, 3);
+        a.push(Gate::fourier(3), &[0]).unwrap();
+        a.push(Gate::csum(3, 3), &[0, 1]).unwrap();
+        assert_eq!(a.structural_hash(), a.clone().structural_hash());
+
+        // Different targets, same gates.
+        let mut b = Circuit::uniform(2, 3);
+        b.push(Gate::fourier(3), &[1]).unwrap();
+        b.push(Gate::csum(3, 3), &[0, 1]).unwrap();
+        assert_ne!(a.structural_hash(), b.structural_hash());
+
+        // Extra instruction.
+        let mut c = a.clone();
+        c.measure(&[0]).unwrap();
+        assert_ne!(a.structural_hash(), c.structural_hash());
+        // Measure vs reset on the same target.
+        let mut d = a.clone();
+        d.reset(0).unwrap();
+        assert_ne!(c.structural_hash(), d.structural_hash());
+
+        // Register dimensions are structural even with no instructions.
+        assert_ne!(
+            Circuit::uniform(2, 3).structural_hash(),
+            Circuit::uniform(2, 4).structural_hash()
+        );
+        assert_ne!(
+            Circuit::uniform(2, 3).structural_hash(),
+            Circuit::uniform(3, 3).structural_hash()
+        );
+    }
+
+    #[test]
+    fn structural_hash_keys_free_params_by_index_and_bound_by_value() {
+        use crate::gate::Param;
+        let phase = |p: Param| {
+            Gate::parameterized(
+                "sep",
+                vec![3],
+                &qudit_core::matrix::CMatrix::diag_real(&[0.0, 1.0, 2.0]),
+                p,
+            )
+            .unwrap()
+        };
+        let with_param = |p: Param| {
+            let mut c = Circuit::uniform(1, 3);
+            c.push(phase(p), &[0]).unwrap();
+            c
+        };
+        // Two bound values are different plans; two circuits sharing a free
+        // index are the same rebindable plan.
+        assert_ne!(
+            with_param(Param::Bound(0.3)).structural_hash(),
+            with_param(Param::Bound(0.7)).structural_hash()
+        );
+        assert_eq!(
+            with_param(Param::Free(0)).structural_hash(),
+            with_param(Param::Free(0)).structural_hash()
+        );
+        assert_ne!(
+            with_param(Param::Free(0)).structural_hash(),
+            with_param(Param::Free(1)).structural_hash()
+        );
+        assert_ne!(
+            with_param(Param::Free(0)).structural_hash(),
+            with_param(Param::Bound(0.0)).structural_hash()
+        );
     }
 
     #[test]

@@ -12,10 +12,12 @@
 //! [`DensityMatrixSimulator::compile`] to reuse a plan across runs.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use qudit_core::cancel::CancelToken;
 use qudit_core::density::DensityMatrix;
 use qudit_core::error::CoreError;
 use qudit_core::guard::{GuardConfig, GuardPolicy, HealthMetric, HealthMonitor, RunHealth};
@@ -28,16 +30,26 @@ use crate::observable::Observable;
 use crate::sim::apply_readout_flip;
 use crate::sim::fusion::{FusionConfig, FusionStats};
 use crate::sim::kernels::{
-    CircuitKernels, DensityKernels, DensityStep, SuperFallback, SuperopConfig, SuperopStats,
+    BindBuffers, CircuitKernels, DensityKernels, DensityStep, SuperFallback, SuperopConfig,
+    SuperopStats,
 };
 
 /// A circuit compiled for density-matrix execution: the fused plan plus the
 /// superoperator-batched channel sweeps. Compile once with
 /// [`DensityMatrixSimulator::compile`], then run it any number of times with
 /// [`DensityMatrixSimulator::run_compiled`].
+///
+/// Like [`crate::sim::CompiledCircuit`], the plan is split into an
+/// immutable, `Arc`-shared topology and a small per-handle binding overlay,
+/// so [`Clone`] is cheap and concurrent requests can share one cached plan
+/// while rebinding independently.
 #[derive(Debug, Clone)]
 pub struct CompiledDensityCircuit {
-    pub(crate) kernels: DensityKernels,
+    /// The immutable, shareable density plan topology.
+    pub(crate) topology: Arc<DensityKernels>,
+    /// This handle's parameter-binding overlay (empty = the compile-time
+    /// all-zero binding).
+    pub(crate) binds: BindBuffers,
     /// The noise model the plan was compiled against (baked into the steps).
     noise: NoiseModel,
 }
@@ -45,35 +57,43 @@ pub struct CompiledDensityCircuit {
 impl CompiledDensityCircuit {
     /// What the gate-fusion pass did to the circuit.
     pub fn fusion_stats(&self) -> FusionStats {
-        self.kernels.fusion_stats
+        self.topology.fusion_stats
     }
 
     /// What the superoperator compiler did to the fused plan.
     pub fn superop_stats(&self) -> SuperopStats {
-        self.kernels.stats
+        self.topology.stats
     }
 
     /// Number of steps in the compiled density plan.
     pub fn num_steps(&self) -> usize {
-        self.kernels.steps.len()
+        self.topology.steps.len()
     }
 
     /// Per-qudit dimensions of the register the plan was compiled for.
     pub fn dims(&self) -> &[usize] {
-        &self.kernels.dims
+        &self.topology.dims
     }
 
     /// Number of parameters a binding must supply
     /// ([`crate::Circuit::num_params`] of the source circuit).
     pub fn num_params(&self) -> usize {
-        self.kernels.num_params
+        self.topology.num_params
+    }
+
+    /// `true` if `self` and `other` share the same underlying plan topology
+    /// (they are clones of one compiled plan). Bindings are per-handle and do
+    /// not affect sharing.
+    pub fn shares_topology_with(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.topology, &other.topology)
     }
 
     /// Re-materialises the parameter-dependent density steps at the given
-    /// binding, **in place**: sandwich steps re-realize their unitary,
-    /// superoperator sweeps re-compose their recorded constituents. The
-    /// folding topology, stride plans and step order are parameter-invariant
-    /// and untouched, so rebinding skips the whole density compilation.
+    /// binding into **this handle's** overlay: sandwich steps re-realize
+    /// their unitary, superoperator sweeps re-compose their recorded
+    /// constituents. The folding topology, stride plans and step order are
+    /// parameter-invariant and shared untouched, so rebinding skips the whole
+    /// density compilation and never perturbs other handles.
     ///
     /// # Example
     ///
@@ -108,7 +128,7 @@ impl CompiledDensityCircuit {
     /// Returns an error if `params` supplies fewer than
     /// [`CompiledDensityCircuit::num_params`] values.
     pub fn bind(&mut self, params: &[f64]) -> Result<()> {
-        self.kernels.bind(params)
+        self.topology.bind_into(params, &mut self.binds)
     }
 }
 
@@ -149,6 +169,7 @@ pub struct DensityMatrixSimulator {
     superop: SuperopConfig,
     threads: usize,
     guard: GuardConfig,
+    cancel: Option<CancelToken>,
 }
 
 impl DensityMatrixSimulator {
@@ -161,6 +182,7 @@ impl DensityMatrixSimulator {
             superop: SuperopConfig::default(),
             threads: 0,
             guard: GuardConfig::disabled(),
+            cancel: None,
         }
     }
 
@@ -222,6 +244,18 @@ impl DensityMatrixSimulator {
         self
     }
 
+    /// Attaches a cooperative [`CancelToken`]. The run loop polls it on entry
+    /// and at every guard-cadence boundary (every [`GuardConfig`] `cadence`
+    /// steps, whether or not the guard itself is enabled), surfacing a
+    /// tripped token as [`CoreError::Cancelled`]. Checkpoints never mutate ρ,
+    /// so a cancelled sweep is bitwise identical to an uncancelled one right
+    /// up to the step at which it stops.
+    #[must_use]
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
     /// The attached noise model.
     pub fn noise(&self) -> &NoiseModel {
         &self.noise
@@ -244,7 +278,8 @@ impl DensityMatrixSimulator {
     pub fn compile(&self, circuit: &Circuit) -> Result<CompiledDensityCircuit> {
         let kernels = CircuitKernels::with_config(circuit, &self.noise, &self.fusion)?;
         Ok(CompiledDensityCircuit {
-            kernels: DensityKernels::compile(&kernels, &self.superop)?,
+            topology: Arc::new(DensityKernels::compile(&kernels, &self.superop)?),
+            binds: BindBuffers::default(),
             noise: self.noise.clone(),
         })
     }
@@ -269,7 +304,7 @@ impl DensityMatrixSimulator {
         compiled: &CompiledDensityCircuit,
     ) -> Result<(DensityMatrix, RunHealth)> {
         let rho0 =
-            DensityMatrix::zero(compiled.kernels.dims.clone()).map_err(CircuitError::Core)?;
+            DensityMatrix::zero(compiled.topology.dims.clone()).map_err(CircuitError::Core)?;
         self.run_compiled_from_detailed(compiled, &rho0)
     }
 
@@ -300,24 +335,32 @@ impl DensityMatrixSimulator {
         initial: &DensityMatrix,
     ) -> Result<(DensityMatrix, RunHealth)> {
         self.check_noise(compiled)?;
-        if initial.radix().dims() != compiled.kernels.dims {
+        if initial.radix().dims() != compiled.topology.dims {
             return Err(CircuitError::InvalidTargets(format!(
                 "initial state register {:?} does not match circuit register {:?}",
                 initial.radix().dims(),
-                compiled.kernels.dims
+                compiled.topology.dims
             )));
         }
+        if let Some(token) = &self.cancel {
+            token.check(0).map_err(CircuitError::Core)?;
+        }
+        let cadence = self.guard.cadence.max(1);
         let mut rho = initial.clone();
         let mut scratch = Vec::new();
         let threads = self.resolved_threads();
         let mut monitor = HealthMonitor::new(self.guard);
-        for (step_index, step) in compiled.kernels.steps.iter().enumerate() {
+        let mut bind_cursor = 0usize;
+        for (step_index, step) in compiled.topology.steps.iter().enumerate() {
             match step {
                 DensityStep::Unitary { plan, kind, op } => {
+                    let (kind, op) = compiled.binds.resolve(&mut bind_cursor, step_index, kind, op);
                     rho.apply_unitary_prepared(plan, kind, op, &mut scratch)
                         .map_err(CircuitError::Core)?;
                 }
                 DensityStep::Super { plan, kind, sup, fallback, defect_tol } => {
+                    let (kind, sup) =
+                        compiled.binds.resolve(&mut bind_cursor, step_index, kind, sup);
                     // Fault injection corrupts a *clone* of the sweep, so the
                     // fallback path below reproduces the clean result.
                     #[cfg(feature = "fault-inject")]
@@ -397,12 +440,20 @@ impl DensityMatrixSimulator {
             if monitor.due() {
                 monitor.check_density(step_index, rho.matrix_mut()).map_err(CircuitError::Core)?;
             }
+            // Cooperative cancellation checkpoint, on the same cadence as
+            // the guard (after it, so a guard failure takes precedence at
+            // the shared boundary).
+            if let Some(token) = &self.cancel {
+                if (step_index + 1) % cadence == 0 {
+                    token.check(step_index).map_err(CircuitError::Core)?;
+                }
+            }
         }
         // Final checkpoint: guarantees at least one check per guarded run and
         // catches damage introduced after the last cadence boundary.
         if monitor.is_enabled() {
             monitor
-                .check_density(compiled.kernels.steps.len(), rho.matrix_mut())
+                .check_density(compiled.topology.steps.len(), rho.matrix_mut())
                 .map_err(CircuitError::Core)?;
         }
         Ok((rho, monitor.health()))

@@ -323,14 +323,20 @@ impl CircuitKernels {
     }
 
     /// Re-materialises the operators (and exact [`OpKind`] classifications)
-    /// of every parameter-dependent apply step at the given binding, in
-    /// place. The plan topology — fusion decisions, stride plans, step order,
-    /// noise channels — is parameter-invariant and untouched.
+    /// of every parameter-dependent apply step at the given binding into a
+    /// caller-owned [`BindBuffers`] overlay. The plan topology — fusion
+    /// decisions, stride plans, step order, noise channels — is
+    /// parameter-invariant and never touched, which is what lets many
+    /// concurrent requests share one `Arc`'d kernel set while each carries
+    /// its own binding.
+    ///
+    /// The overlay is replaced wholesale on success and left untouched on
+    /// error, so a failed rebind never leaves a plan half-bound.
     ///
     /// # Errors
     /// Returns an error if `params` supplies fewer than
     /// [`CircuitKernels::num_params`] values.
-    pub(crate) fn bind(&mut self, params: &[f64]) -> Result<()> {
+    pub(crate) fn bind_into(&self, params: &[f64], binds: &mut BindBuffers) -> Result<()> {
         if params.len() < self.num_params {
             return Err(CircuitError::InvalidGate(format!(
                 "binding supplies {} parameters but the plan needs {}",
@@ -338,13 +344,55 @@ impl CircuitKernels {
                 self.num_params
             )));
         }
-        for step in &mut self.steps {
-            if let ExecStep::Apply { op, kind, recipe: Some(recipe), .. } = step {
-                *op = recipe.realize(params)?;
-                *kind = OpKind::classify(op);
+        let mut overrides = Vec::new();
+        for (index, step) in self.steps.iter().enumerate() {
+            if let ExecStep::Apply { recipe: Some(recipe), .. } = step {
+                let op = recipe.realize(params)?;
+                let kind = OpKind::classify(&op);
+                overrides.push((index, op, kind));
             }
         }
+        binds.overrides = overrides;
         Ok(())
+    }
+}
+
+/// Per-request parameter-binding overlay over an immutable (`Arc`-shared)
+/// plan topology: the realized operator and exact classification of every
+/// parameter-dependent step, ascending by step index. Run loops walk the
+/// overlay with a monotone cursor ([`BindBuffers::resolve`]), so resolution
+/// is O(1) amortised per step. An empty overlay means the compile-time
+/// all-zero binding.
+///
+/// The same type serves both simulators: for statevector plans the matrix is
+/// the apply step's operator, for density plans it is the sandwich unitary or
+/// the sweep's composed superoperator — the run loop knows which from the
+/// step it is resolving.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct BindBuffers {
+    /// `(step index, realized operator, exact classification)`, ascending.
+    pub overrides: Vec<(usize, CMatrix, OpKind)>,
+}
+
+impl BindBuffers {
+    /// Resolves the operator of `step`: the override when the binding
+    /// re-materialised this step, the compiled base otherwise. `cursor` must
+    /// start at zero and be advanced only by this method, with `step` values
+    /// in ascending order (the run-loop access pattern).
+    pub fn resolve<'a>(
+        &'a self,
+        cursor: &mut usize,
+        step: usize,
+        base_kind: &'a OpKind,
+        base_op: &'a CMatrix,
+    ) -> (&'a OpKind, &'a CMatrix) {
+        while *cursor < self.overrides.len() && self.overrides[*cursor].0 < step {
+            *cursor += 1;
+        }
+        match self.overrides.get(*cursor) {
+            Some((s, op, kind)) if *s == step => (kind, op),
+            _ => (base_kind, base_op),
+        }
     }
 }
 
@@ -705,13 +753,18 @@ impl DensityKernels {
     }
 
     /// Re-materialises every parameter-dependent density step at the given
-    /// binding, in place: sandwich steps re-realize their unitary, sweeps
-    /// re-compose their recorded parts. The folding topology, stride plans
-    /// and step order are parameter-invariant and untouched.
+    /// binding into a caller-owned [`BindBuffers`] overlay: sandwich steps
+    /// re-realize their unitary, sweeps re-compose their recorded parts. The
+    /// folding topology, stride plans and step order are parameter-invariant
+    /// and never touched, so an `Arc`-shared density plan serves concurrent
+    /// requests that each carry their own binding.
+    ///
+    /// The overlay is replaced wholesale on success and left untouched on
+    /// error.
     ///
     /// # Errors
     /// Returns an error if `params` supplies fewer than `num_params` values.
-    pub(crate) fn bind(&mut self, params: &[f64]) -> Result<()> {
+    pub(crate) fn bind_into(&self, params: &[f64], binds: &mut BindBuffers) -> Result<()> {
         if params.len() < self.num_params {
             return Err(CircuitError::InvalidGate(format!(
                 "binding supplies {} parameters but the plan needs {}",
@@ -719,24 +772,24 @@ impl DensityKernels {
                 self.num_params
             )));
         }
+        // `rebind` entries were pushed at `steps.len()` during compilation,
+        // so they are already ascending by step index.
+        let mut overrides = Vec::with_capacity(self.rebind.len());
         for recipe in &self.rebind {
             match recipe {
                 DensityRecipe::Sandwich { step, recipe } => {
-                    let DensityStep::Unitary { kind, op, .. } = &mut self.steps[*step] else {
-                        unreachable!("sandwich recipes point at unitary steps")
-                    };
-                    *op = recipe.realize(params)?;
-                    *kind = OpKind::classify(op);
+                    let op = recipe.realize(params)?;
+                    let kind = OpKind::classify(&op);
+                    overrides.push((*step, op, kind));
                 }
                 DensityRecipe::Super { step, parts, targets } => {
-                    let DensityStep::Super { kind, sup, .. } = &mut self.steps[*step] else {
-                        unreachable!("super recipes point at sweep steps")
-                    };
-                    *sup = compose_super_parts(parts, params, targets, &self.dims)?;
-                    *kind = OpKind::classify(sup);
+                    let sup = compose_super_parts(parts, params, targets, &self.dims)?;
+                    let kind = OpKind::classify(&sup);
+                    overrides.push((*step, sup, kind));
                 }
             }
         }
+        binds.overrides = overrides;
         Ok(())
     }
 }

@@ -43,6 +43,10 @@ pub use trajectory::{TrajectoryEstimate, TrajectorySimulator};
 // dependency at the call site (see `qudit_core::guard` for the full module).
 pub use qudit_core::guard::{GuardConfig, GuardPolicy, HealthMetric, RunHealth};
 
+// Re-exported for the same reason: every simulator's `with_cancel` takes a
+// token (see `qudit_core::cancel` for the full module).
+pub use qudit_core::cancel::{CancelReason, CancelToken};
+
 use rand::Rng;
 
 use qudit_core::state::QuditState;

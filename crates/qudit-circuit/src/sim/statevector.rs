@@ -1,10 +1,12 @@
 //! Pure-state (single-trajectory) circuit simulation.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use qudit_core::cancel::CancelToken;
 use qudit_core::guard::{GuardConfig, HealthMonitor, RunHealth};
 use qudit_core::state::QuditState;
 
@@ -13,7 +15,7 @@ use crate::error::{CircuitError, Result};
 use crate::noise::NoiseModel;
 use crate::observable::Observable;
 use crate::sim::fusion::{FusionConfig, FusionStats};
-use crate::sim::kernels::{CircuitKernels, ExecStep, RunScratch};
+use crate::sim::kernels::{BindBuffers, CircuitKernels, ExecStep, RunScratch};
 use crate::sim::{apply_channel_prepared, apply_readout_flip};
 
 /// Output of a state-vector run: the final state and any recorded
@@ -36,9 +38,21 @@ pub struct RunOutput {
 /// trajectory. Compile once with [`StatevectorSimulator::compile`], then run
 /// it any number of times with [`StatevectorSimulator::run_compiled`] to
 /// amortise the compilation work across runs.
+///
+/// Since PR 7 the plan is split into an immutable, `Arc`-shared **topology**
+/// (the full kernel set: fused steps, stride plans, noise channels) and a
+/// small per-handle **binding overlay** holding only the operators of
+/// parameter-dependent steps. [`Clone`] is therefore cheap — it shares the
+/// topology and copies the overlay — so a serving layer can cache one
+/// compiled plan and hand each request its own independently rebindable
+/// handle ([`CompiledCircuit::bind`] never touches the shared topology).
 #[derive(Debug, Clone)]
 pub struct CompiledCircuit {
-    pub(crate) kernels: CircuitKernels,
+    /// The immutable, shareable plan topology.
+    pub(crate) topology: Arc<CircuitKernels>,
+    /// This handle's parameter-binding overlay (empty = the compile-time
+    /// all-zero binding).
+    pub(crate) binds: BindBuffers,
     /// The noise model the plan was compiled against; runs under a simulator
     /// with a different model are rejected (the plan bakes in gate-level
     /// channels, so executing it under another model would silently mix the
@@ -49,40 +63,49 @@ pub struct CompiledCircuit {
 impl CompiledCircuit {
     /// What the fusion pass did to the circuit.
     pub fn fusion_stats(&self) -> FusionStats {
-        self.kernels.stats
+        self.topology.stats
     }
 
     /// Number of steps in the compiled execution plan.
     pub fn num_steps(&self) -> usize {
-        self.kernels.steps.len()
+        self.topology.steps.len()
     }
 
     /// Per-qudit dimensions of the register the plan was compiled for.
     pub fn dims(&self) -> &[usize] {
-        &self.kernels.dims
+        &self.topology.dims
     }
 
     /// Number of parameters a binding must supply
     /// ([`crate::Circuit::num_params`] of the source circuit). Zero for a
     /// fully bound circuit.
     pub fn num_params(&self) -> usize {
-        self.kernels.num_params
+        self.topology.num_params
     }
 
     /// Number of apply steps whose operator depends on a free parameter —
     /// the steps [`CompiledCircuit::bind`] re-materialises (everything else
     /// is binding-invariant).
     pub fn rebindable_steps(&self) -> usize {
-        self.kernels
+        self.topology
             .steps
             .iter()
             .filter(|s| matches!(s, crate::sim::kernels::ExecStep::Apply { recipe: Some(_), .. }))
             .count()
     }
 
+    /// `true` if `self` and `other` share the same underlying plan topology
+    /// (they are clones of one compiled plan). Bindings are per-handle and do
+    /// not affect sharing; a plan-cache hit hands out handles for which this
+    /// holds.
+    pub fn shares_topology_with(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.topology, &other.topology)
+    }
+
     /// Re-materialises the operators of the parameter-dependent (possibly
-    /// fused) apply steps at the given binding, **in place** — without
-    /// re-running fusion, stride-plan construction, or the plan's step
+    /// fused) apply steps at the given binding into **this handle's** overlay
+    /// — without re-running fusion, stride-plan construction, or the plan's
+    /// step topology, and without touching any other handle sharing the same
     /// topology. A plan compiled from a parameterized circuit starts out
     /// bound at all-zero parameters.
     ///
@@ -125,7 +148,7 @@ impl CompiledCircuit {
     /// Returns an error if `params` supplies fewer than
     /// [`CompiledCircuit::num_params`] values.
     pub fn bind(&mut self, params: &[f64]) -> Result<()> {
-        self.kernels.bind(params)
+        self.topology.bind_into(params, &mut self.binds)
     }
 }
 
@@ -162,6 +185,7 @@ pub struct StatevectorSimulator {
     threads: usize,
     fusion: FusionConfig,
     guard: GuardConfig,
+    cancel: Option<CancelToken>,
 }
 
 impl Default for StatevectorSimulator {
@@ -179,6 +203,7 @@ impl StatevectorSimulator {
             threads: 0,
             fusion: FusionConfig::default(),
             guard: GuardConfig::disabled(),
+            cancel: None,
         }
     }
 
@@ -227,6 +252,19 @@ impl StatevectorSimulator {
         self
     }
 
+    /// Attaches a cooperative [`CancelToken`]. The run loop polls it on entry
+    /// and at every guard-cadence boundary (every
+    /// [`GuardConfig`] `cadence` steps — the cadence applies whether or not
+    /// the guard itself is enabled), surfacing a tripped token as
+    /// [`qudit_core::error::CoreError::Cancelled`]. Checkpoints never mutate
+    /// the state, so a cancelled run is bitwise identical to an uncancelled
+    /// one right up to the step at which it stops.
+    #[must_use]
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
     /// Compiles a circuit into its reusable execution plan (fusion pass,
     /// stride plans, operator classifications, noise channels).
     ///
@@ -234,7 +272,8 @@ impl StatevectorSimulator {
     /// Returns an error for invalid instructions.
     pub fn compile(&self, circuit: &Circuit) -> Result<CompiledCircuit> {
         Ok(CompiledCircuit {
-            kernels: CircuitKernels::with_config(circuit, &self.noise, &self.fusion)?,
+            topology: Arc::new(CircuitKernels::with_config(circuit, &self.noise, &self.fusion)?),
+            binds: BindBuffers::default(),
             noise: self.noise.clone(),
         })
     }
@@ -247,7 +286,7 @@ impl StatevectorSimulator {
     /// Returns an error for invalid dimensions.
     pub fn run_compiled(&self, compiled: &CompiledCircuit) -> Result<RunOutput> {
         let initial =
-            QuditState::zero(compiled.kernels.dims.clone()).map_err(CircuitError::Core)?;
+            QuditState::zero(compiled.topology.dims.clone()).map_err(CircuitError::Core)?;
         self.run_compiled_from(compiled, &initial)
     }
 
@@ -265,7 +304,7 @@ impl StatevectorSimulator {
     ) -> Result<RunOutput> {
         self.check_noise(compiled)?;
         let mut rng = StdRng::seed_from_u64(self.seed);
-        self.run_prepared(&compiled.kernels, initial, &mut rng)
+        self.run_prepared(&compiled.topology, &compiled.binds, initial, &mut rng)
     }
 
     fn check_noise(&self, compiled: &CompiledCircuit) -> Result<()> {
@@ -353,7 +392,7 @@ impl StatevectorSimulator {
         rng: &mut StdRng,
     ) -> Result<RunOutput> {
         let kernels = CircuitKernels::with_config(circuit, &self.noise, &self.fusion)?;
-        self.run_prepared(&kernels, initial, rng)
+        self.run_prepared(&kernels, &BindBuffers::default(), initial, rng)
     }
 
     /// Runs a compiled execution plan, the shared path behind every shot and
@@ -366,9 +405,14 @@ impl StatevectorSimulator {
     /// [`crate::sim::fusion`]); steps are simply executed in plan order, and
     /// the disjoint-support commutation argument guarantees identical
     /// measurement distributions and aligned RNG streams.
+    ///
+    /// Parameter-dependent steps resolve their operator through `binds` (the
+    /// per-request overlay); pass an empty overlay for the compile-time
+    /// binding.
     pub(crate) fn run_prepared(
         &self,
         kernels: &CircuitKernels,
+        binds: &BindBuffers,
         initial: &QuditState,
         rng: &mut StdRng,
     ) -> Result<RunOutput> {
@@ -379,15 +423,21 @@ impl StatevectorSimulator {
                 kernels.dims
             )));
         }
+        if let Some(token) = &self.cancel {
+            token.check(0).map_err(CircuitError::Core)?;
+        }
+        let cadence = self.guard.cadence.max(1);
         let mut state = initial.clone();
         let mut measurements = Vec::new();
         let mut scratch = RunScratch::default();
         let dims = &kernels.dims;
         let mut monitor = HealthMonitor::new(self.guard);
+        let mut bind_cursor = 0usize;
 
         for (step_index, step) in kernels.steps.iter().enumerate() {
             match step {
                 ExecStep::Apply { plan, kind, op, noise, .. } => {
+                    let (kind, op) = binds.resolve(&mut bind_cursor, step_index, kind, op);
                     state
                         .apply_prepared(plan, kind, op, &mut scratch.block)
                         .map_err(CircuitError::Core)?;
@@ -428,6 +478,15 @@ impl StatevectorSimulator {
                 monitor
                     .check_statevector(step_index, state.amplitudes_mut())
                     .map_err(CircuitError::Core)?;
+            }
+            // Cooperative cancellation checkpoint, on the same cadence as the
+            // guard (after it, so a guard failure takes precedence at the
+            // shared boundary). Budget-armed tokens spend exactly one unit
+            // here per boundary, thread-count-invariantly.
+            if let Some(token) = &self.cancel {
+                if (step_index + 1) % cadence == 0 {
+                    token.check(step_index).map_err(CircuitError::Core)?;
+                }
             }
         }
         // A final checkpoint guarantees at least one check per guarded run
@@ -479,24 +538,34 @@ impl StatevectorSimulator {
             // index-derived seed, so the shot loop is embarrassingly parallel
             // and its outcome is independent of the thread count.
             let kernels = CircuitKernels::with_config(circuit, &self.noise, &self.fusion)?;
+            let binds = BindBuffers::default();
             let initial = QuditState::zero(circuit.dims().to_vec()).map_err(CircuitError::Core)?;
             let threads =
                 if self.threads == 0 { qudit_core::par::max_threads() } else { self.threads };
-            let shot_digits =
-                qudit_core::par::par_map_threads(shots, threads, |shot| -> Result<Vec<usize>> {
-                    let mut shot_rng = StdRng::seed_from_u64(
-                        self.seed.wrapping_add(0x9E37_79B9).wrapping_mul(shot as u64 + 1),
-                    );
-                    let out = self.run_prepared(&kernels, &initial, &mut shot_rng)?;
-                    let mut digits = out.state.sample(&mut shot_rng);
-                    apply_readout_flip(
-                        &mut digits,
-                        circuit.dims(),
-                        self.noise.readout_flip,
-                        &mut shot_rng,
-                    );
-                    Ok(digits)
-                });
+            let run_shot = |shot: usize| -> Result<Vec<usize>> {
+                let mut shot_rng = StdRng::seed_from_u64(
+                    self.seed.wrapping_add(0x9E37_79B9).wrapping_mul(shot as u64 + 1),
+                );
+                let out = self.run_prepared(&kernels, &binds, &initial, &mut shot_rng)?;
+                let mut digits = out.state.sample(&mut shot_rng);
+                apply_readout_flip(
+                    &mut digits,
+                    circuit.dims(),
+                    self.noise.readout_flip,
+                    &mut shot_rng,
+                );
+                Ok(digits)
+            };
+            // With a token attached, the shot sweep also polls it between
+            // pool chunks, so a long sampling job stops within one chunk.
+            let shot_digits = match &self.cancel {
+                Some(token) => {
+                    qudit_core::par::par_map_threads_counted_cancel(shots, threads, token, run_shot)
+                        .map_err(CircuitError::Core)?
+                        .0
+                }
+                None => qudit_core::par::par_map_threads(shots, threads, run_shot),
+            };
             for digits in shot_digits {
                 *counts.entry(digits?).or_insert(0) += 1;
             }

@@ -18,9 +18,12 @@
 
 use std::collections::HashMap;
 
+use std::sync::Arc;
+
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use qudit_core::cancel::CancelToken;
 use qudit_core::guard::{GuardConfig, RunHealth};
 use qudit_core::par;
 use qudit_core::state::QuditState;
@@ -30,7 +33,7 @@ use crate::error::{CircuitError, Result};
 use crate::noise::NoiseModel;
 use crate::observable::Observable;
 use crate::sim::fusion::FusionConfig;
-use crate::sim::kernels::CircuitKernels;
+use crate::sim::kernels::{BindBuffers, CircuitKernels};
 use crate::sim::statevector::{CompiledCircuit, StatevectorSimulator};
 
 /// A Monte-Carlo trajectory simulator.
@@ -60,6 +63,7 @@ pub struct TrajectorySimulator {
     threads: usize,
     fusion: FusionConfig,
     guard: GuardConfig,
+    cancel: Option<CancelToken>,
 }
 
 /// Mean and standard error of a trajectory-averaged expectation value.
@@ -83,6 +87,7 @@ impl TrajectorySimulator {
             threads: 0,
             fusion: FusionConfig::default(),
             guard: GuardConfig::disabled(),
+            cancel: None,
         }
     }
 
@@ -127,6 +132,18 @@ impl TrajectorySimulator {
         self
     }
 
+    /// Attaches a cooperative [`CancelToken`], polled between trajectory
+    /// batches, between worker-pool chunks inside a batch, and at the guard-
+    /// cadence boundaries inside every trajectory's statevector run. A
+    /// tripped token surfaces as
+    /// [`qudit_core::error::CoreError::Cancelled`]; partial batches are
+    /// discarded wholesale, never folded into an estimate.
+    #[must_use]
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
     /// Number of trajectories.
     pub fn n_trajectories(&self) -> usize {
         self.n_trajectories
@@ -149,7 +166,8 @@ impl TrajectorySimulator {
     /// Returns an error for invalid instructions.
     pub fn compile(&self, circuit: &Circuit) -> Result<CompiledCircuit> {
         Ok(CompiledCircuit {
-            kernels: CircuitKernels::with_config(circuit, &self.noise, &self.fusion)?,
+            topology: Arc::new(CircuitKernels::with_config(circuit, &self.noise, &self.fusion)?),
+            binds: BindBuffers::default(),
             noise: self.noise.clone(),
         })
     }
@@ -192,34 +210,49 @@ impl TrajectorySimulator {
         fold: impl FnMut(&mut A, T),
     ) -> Result<RunHealth> {
         let kernels = CircuitKernels::with_config(circuit, &self.noise, &self.fusion)?;
-        self.fold_trajectories_prepared(&kernels, f, acc, fold)
+        self.fold_trajectories_prepared(&kernels, &BindBuffers::default(), f, acc, fold)
     }
 
     /// [`TrajectorySimulator::fold_trajectories`] over a precompiled kernel
-    /// set, the plan-reuse path behind the `_compiled` entry points. Returns
-    /// the health reports of all trajectories summed, plus any worker-pool
-    /// chunk retries.
+    /// set and binding overlay, the plan-reuse path behind the `_compiled`
+    /// entry points. Returns the health reports of all trajectories summed,
+    /// plus any worker-pool chunk retries.
     fn fold_trajectories_prepared<T: Send, A>(
         &self,
         kernels: &CircuitKernels,
+        binds: &BindBuffers,
         f: impl Fn(usize, &QuditState) -> Result<T> + Sync,
         acc: &mut A,
         mut fold: impl FnMut(&mut A, T),
     ) -> Result<RunHealth> {
         let initial = QuditState::zero(kernels.dims.clone()).map_err(CircuitError::Core)?;
-        let sv = StatevectorSimulator::new().with_noise(self.noise.clone()).with_guard(self.guard);
+        let mut sv =
+            StatevectorSimulator::new().with_noise(self.noise.clone()).with_guard(self.guard);
+        if let Some(token) = &self.cancel {
+            sv = sv.with_cancel(token.clone());
+        }
         let threads = self.resolved_threads();
         let batch = threads.max(1) * 4;
         let mut health = RunHealth::default();
         let mut start = 0;
         while start < self.n_trajectories {
+            // Between-batch cancellation checkpoint: a long ensemble stops
+            // within one batch even when individual trajectories are short.
+            if let Some(token) = &self.cancel {
+                token.check(start).map_err(CircuitError::Core)?;
+            }
             let len = batch.min(self.n_trajectories - start);
-            let (results, retries) = par::par_map_threads_counted(len, threads, |i| {
+            let run_batch = |i: usize| {
                 let t = start + i;
                 let mut rng = StdRng::seed_from_u64(self.traj_seed(t));
-                let out = sv.run_prepared(kernels, &initial, &mut rng)?;
+                let out = sv.run_prepared(kernels, binds, &initial, &mut rng)?;
                 Ok::<_, CircuitError>((f(t, &out.state)?, out.health))
-            });
+            };
+            let (results, retries) = match &self.cancel {
+                Some(token) => par::par_map_threads_counted_cancel(len, threads, token, run_batch)
+                    .map_err(CircuitError::Core)?,
+                None => par::par_map_threads_counted(len, threads, run_batch),
+            };
             health.retries += retries;
             for r in results {
                 let (value, traj_health) = r?;
@@ -278,7 +311,8 @@ impl TrajectorySimulator {
         self.check_compiled(compiled)?;
         let mut values = Vec::with_capacity(self.n_trajectories);
         self.fold_trajectories_prepared(
-            &compiled.kernels,
+            &compiled.topology,
+            &compiled.binds,
             |_, state| observable.expectation(state),
             &mut values,
             |acc, v| acc.push(v),
@@ -309,7 +343,7 @@ impl TrajectorySimulator {
     /// Returns an error for invalid instructions.
     pub fn outcome_distribution(&self, circuit: &Circuit) -> Result<Vec<f64>> {
         let kernels = CircuitKernels::with_config(circuit, &self.noise, &self.fusion)?;
-        self.outcome_distribution_prepared(&kernels)
+        self.outcome_distribution_prepared(&kernels, &BindBuffers::default())
     }
 
     /// Trajectory-averaged outcome distribution through a precompiled plan.
@@ -318,7 +352,7 @@ impl TrajectorySimulator {
     /// Returns an error for invalid dimensions or a noise model mismatch.
     pub fn outcome_distribution_compiled(&self, compiled: &CompiledCircuit) -> Result<Vec<f64>> {
         self.check_compiled(compiled)?;
-        self.outcome_distribution_prepared(&compiled.kernels)
+        self.outcome_distribution_prepared(&compiled.topology, &compiled.binds)
     }
 
     /// Rebinds a compiled plan to `params` and returns the trajectory-
@@ -337,11 +371,16 @@ impl TrajectorySimulator {
         self.outcome_distribution_compiled(compiled)
     }
 
-    fn outcome_distribution_prepared(&self, kernels: &CircuitKernels) -> Result<Vec<f64>> {
+    fn outcome_distribution_prepared(
+        &self,
+        kernels: &CircuitKernels,
+        binds: &BindBuffers,
+    ) -> Result<Vec<f64>> {
         let total_dim: usize = kernels.dims.iter().product();
         let mut acc = vec![0.0; total_dim];
         self.fold_trajectories_prepared(
             kernels,
+            binds,
             |_, state| Ok(state.probabilities()),
             &mut acc,
             |acc, probs| {
@@ -401,9 +440,12 @@ impl TrajectorySimulator {
     /// # Errors
     /// Returns an error for invalid instructions.
     pub fn run_single(&self, circuit: &Circuit, index: usize) -> Result<QuditState> {
-        let sv = StatevectorSimulator::with_seed(self.traj_seed(index))
+        let mut sv = StatevectorSimulator::with_seed(self.traj_seed(index))
             .with_noise(self.noise.clone())
             .with_guard(self.guard);
+        if let Some(token) = &self.cancel {
+            sv = sv.with_cancel(token.clone());
+        }
         let initial = QuditState::zero(circuit.dims().to_vec()).map_err(CircuitError::Core)?;
         let mut rng = StdRng::seed_from_u64(self.traj_seed(index));
         Ok(sv.run_from_with_rng(circuit, &initial, &mut rng)?.state)

@@ -349,3 +349,44 @@ fn disabled_guard_reports_all_zero_health() {
     let out = StatevectorSimulator::new().run_detailed(&c).unwrap();
     assert_eq!(out.health, Default::default());
 }
+
+// ---------------------------------------------------------------------------
+// Mid-sweep cancellation leaves a bitwise-reproducible partial state.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn mid_sweep_cancellation_partial_state_is_bitwise_identical_across_thread_counts() {
+    use qudit_circuit::sim::{CancelReason, CancelToken};
+
+    // A check budget of 2 with cadence 1 trips the token at the checkpoint
+    // after step 1; `CaptureState` snapshots ρ right after step 1 executes,
+    // i.e. the exact state the run held when it was cancelled. The density
+    // loop runs on the caller thread (workers only split superoperator
+    // sweeps), so both the cancellation step and the partial state must be
+    // bitwise identical across thread counts.
+    let c = random_circuit(&[3, 3], 8, 71);
+    let run = |threads: usize| {
+        inject::disarm_all();
+        inject::arm(Fault::CaptureState { step: 1 });
+        let token = CancelToken::new().with_check_budget(2);
+        let err = DensityMatrixSimulator::new()
+            .with_noise(NoiseModel::depolarizing(0.05, 0.02))
+            .with_threads(threads)
+            .with_guard(GuardConfig::disabled().with_cadence(1))
+            .with_cancel(token)
+            .run(&c)
+            .unwrap_err();
+        let partial = inject::take_captured().expect("step 1 ran before the cancel checkpoint");
+        inject::disarm_all();
+        (err, partial)
+    };
+
+    let (err_1, state_1) = run(1);
+    let (err_4, state_4) = run(4);
+    assert_eq!(
+        err_1,
+        CircuitError::Core(CoreError::Cancelled { step: 1, reason: CancelReason::Requested })
+    );
+    assert_eq!(err_1, err_4, "cancellation point must not depend on thread count");
+    assert_eq!(state_1, state_4, "partial state at cancellation must be bitwise identical");
+}

@@ -1,5 +1,6 @@
 //! Error types shared by the numerics substrate.
 
+use crate::cancel::CancelReason;
 use crate::guard::HealthMetric;
 use std::fmt;
 
@@ -58,6 +59,14 @@ pub enum CoreError {
     NotStructured(String),
     /// Catch-all for invalid arguments.
     InvalidArgument(String),
+    /// A run observed a tripped [`crate::cancel::CancelToken`] at a
+    /// cooperative checkpoint and stopped.
+    Cancelled {
+        /// Execution-step (or chunk) index at which the checkpoint fired.
+        step: usize,
+        /// Why the token was tripped.
+        reason: CancelReason,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -84,6 +93,9 @@ impl fmt::Display for CoreError {
             }
             CoreError::NotStructured(msg) => write!(f, "structural requirement violated: {msg}"),
             CoreError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+            CoreError::Cancelled { step, reason } => {
+                write!(f, "run cancelled at step {step}: {reason}")
+            }
         }
     }
 }
@@ -114,5 +126,11 @@ mod tests {
         let msg = e.to_string();
         assert!(msg.contains("step 12"), "{msg}");
         assert!(msg.contains("norm"), "{msg}");
+        let e = CoreError::Cancelled { step: 9, reason: CancelReason::DeadlineExceeded };
+        let msg = e.to_string();
+        assert!(msg.contains("step 9"), "{msg}");
+        assert!(msg.contains("deadline"), "{msg}");
+        let e = CoreError::Cancelled { step: 0, reason: CancelReason::Requested };
+        assert!(e.to_string().contains("requested"), "{e}");
     }
 }

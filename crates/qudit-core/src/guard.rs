@@ -140,7 +140,15 @@ impl GuardConfig {
         Self { enabled: true, ..Self::disabled() }
     }
 
-    /// Builder: sets the checkpoint cadence (clamped to at least 1).
+    /// Builder: sets the checkpoint cadence.
+    ///
+    /// A cadence of `0` is **clamped to 1** (a checkpoint after every step)
+    /// rather than erroring: the builder chain stays infallible and the
+    /// clamped value is the closest meaningful interpretation of "check as
+    /// often as possible". A cadence larger than the run's step count means
+    /// [`HealthMonitor::due`] never fires mid-run; the run loops still
+    /// execute exactly one final checkpoint, so every guarded run reports
+    /// `checks_run >= 1`.
     #[must_use]
     pub fn with_cadence(mut self, cadence: usize) -> Self {
         self.cadence = cadence.max(1);
@@ -191,14 +199,20 @@ pub struct RunHealth {
 impl RunHealth {
     /// Accumulates another report into this one (used when aggregating
     /// per-trajectory health into a run-level report).
+    ///
+    /// Counters accumulate with saturating arithmetic: a long-lived serving
+    /// process folds millions of per-job reports into one aggregate, and a
+    /// counter pinned at `usize::MAX` is more useful than an overflow panic
+    /// (or a silent debug/release divergence). `max_drift` propagates as the
+    /// maximum of the two reports.
     pub fn merge(&mut self, other: &RunHealth) {
-        self.checks_run += other.checks_run;
+        self.checks_run = self.checks_run.saturating_add(other.checks_run);
         if other.max_drift > self.max_drift {
             self.max_drift = other.max_drift;
         }
-        self.renormalizations += other.renormalizations;
-        self.retries += other.retries;
-        self.fallbacks += other.fallbacks;
+        self.renormalizations = self.renormalizations.saturating_add(other.renormalizations);
+        self.retries = self.retries.saturating_add(other.retries);
+        self.fallbacks = self.fallbacks.saturating_add(other.fallbacks);
     }
 }
 
@@ -459,10 +473,21 @@ pub mod inject {
             /// Delay in milliseconds.
             millis: u64,
         },
+        /// Snapshot the flat state after execution step `step` into the
+        /// thread-local capture buffer (readable via [`captured`]). Purely
+        /// observational — the state itself is untouched — so tests can
+        /// assert bitwise properties of a *mid-sweep* state, e.g. that a run
+        /// cancelled at a checkpoint evolved identically at every thread
+        /// count up to the cancellation point.
+        CaptureState {
+            /// Execution-step index after which the snapshot is taken.
+            step: usize,
+        },
     }
 
     thread_local! {
         static FAULTS: RefCell<Vec<Fault>> = const { RefCell::new(Vec::new()) };
+        static CAPTURE: RefCell<Option<Vec<Complex64>>> = const { RefCell::new(None) };
     }
 
     /// Arms a fault on the current thread.
@@ -470,9 +495,17 @@ pub mod inject {
         FAULTS.with(|f| f.borrow_mut().push(fault));
     }
 
-    /// Disarms every fault on the current thread.
+    /// Disarms every fault on the current thread and clears the capture
+    /// buffer.
     pub fn disarm_all() {
         FAULTS.with(|f| f.borrow_mut().clear());
+        CAPTURE.with(|c| *c.borrow_mut() = None);
+    }
+
+    /// Takes the state snapshot recorded by [`Fault::CaptureState`], if one
+    /// has fired on this thread since the last [`disarm_all`].
+    pub fn take_captured() -> Option<Vec<Complex64>> {
+        CAPTURE.with(|c| c.borrow_mut().take())
     }
 
     /// Number of faults currently armed on this thread.
@@ -499,6 +532,9 @@ pub mod inject {
                         for a in data.iter_mut() {
                             *a *= factor;
                         }
+                    }
+                    Fault::CaptureState { step: s } if s == step => {
+                        CAPTURE.with(|c| *c.borrow_mut() = Some(data.to_vec()));
                     }
                     _ => {}
                 }
@@ -708,6 +744,61 @@ mod tests {
         assert_eq!(a.fallbacks, 1);
     }
 
+    #[test]
+    fn run_health_merge_saturates_instead_of_overflowing() {
+        let mut a = RunHealth {
+            checks_run: usize::MAX - 1,
+            max_drift: 0.0,
+            renormalizations: usize::MAX,
+            retries: usize::MAX - 2,
+            fallbacks: 3,
+        };
+        let b = RunHealth {
+            checks_run: 5,
+            max_drift: 0.0,
+            renormalizations: 1,
+            retries: 7,
+            fallbacks: usize::MAX,
+        };
+        a.merge(&b);
+        assert_eq!(a.checks_run, usize::MAX);
+        assert_eq!(a.renormalizations, usize::MAX);
+        assert_eq!(a.retries, usize::MAX);
+        assert_eq!(a.fallbacks, usize::MAX);
+    }
+
+    #[test]
+    fn run_health_merge_propagates_max_drift_in_both_directions() {
+        let mut a = RunHealth { max_drift: 1e-3, ..RunHealth::default() };
+        a.merge(&RunHealth { max_drift: 1e-9, ..RunHealth::default() });
+        assert_eq!(a.max_drift, 1e-3, "smaller incoming drift must not lower the max");
+        a.merge(&RunHealth { max_drift: 2.5, ..RunHealth::default() });
+        assert_eq!(a.max_drift, 2.5, "larger incoming drift must win");
+    }
+
+    #[test]
+    fn zero_cadence_is_clamped_to_every_step() {
+        let config = GuardConfig::enabled().with_cadence(0);
+        assert_eq!(config.cadence, 1, "with_cadence(0) documents clamping to 1");
+        let mut monitor = HealthMonitor::new(config);
+        assert!(monitor.due(), "cadence 1 fires after every step");
+        assert!(monitor.due());
+    }
+
+    #[test]
+    fn cadence_beyond_step_count_never_fires_mid_run() {
+        // The run loops guarantee the complementary half of the contract:
+        // one final checkpoint always executes when the guard is enabled,
+        // so `checks_run >= 1` even here (covered by the simulator tests).
+        let mut monitor = HealthMonitor::new(GuardConfig::enabled().with_cadence(1000));
+        for _ in 0..5 {
+            assert!(!monitor.due());
+        }
+        let mut amps = unit_state(4);
+        monitor.check_statevector(5, &mut amps).unwrap();
+        assert_eq!(monitor.health().checks_run, 1);
+    }
+
     #[cfg(feature = "fault-inject")]
     mod inject_tests {
         use super::super::inject::{self, Fault};
@@ -722,6 +813,21 @@ mod tests {
             assert!(data.iter().all(|a| a.re.is_finite()));
             inject::apply_state_faults(2, &mut data);
             assert!(data[1].re.is_nan());
+            inject::disarm_all();
+        }
+
+        #[test]
+        fn capture_state_snapshots_without_mutating() {
+            inject::disarm_all();
+            inject::arm(Fault::CaptureState { step: 1 });
+            let mut data = vec![c64(0.5, -0.25); 4];
+            let before = data.clone();
+            inject::apply_state_faults(0, &mut data);
+            assert!(inject::take_captured().is_none(), "wrong step must not capture");
+            inject::apply_state_faults(1, &mut data);
+            assert_eq!(data, before, "capture is observational");
+            assert_eq!(inject::take_captured().unwrap(), before);
+            assert!(inject::take_captured().is_none(), "capture buffer is taken once");
             inject::disarm_all();
         }
 

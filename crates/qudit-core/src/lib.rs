@@ -82,6 +82,7 @@
 #![warn(missing_docs)]
 
 pub mod apply;
+pub mod cancel;
 pub mod complex;
 pub mod density;
 pub mod error;
@@ -97,6 +98,7 @@ pub mod state;
 pub mod superop;
 
 pub use apply::{ApplyPlan, OpKind};
+pub use cancel::{CancelReason, CancelToken};
 pub use complex::{c64, Complex64};
 pub use density::DensityMatrix;
 pub use error::{CoreError, Result};
@@ -110,6 +112,7 @@ pub use superop::SuperPlan;
 /// Commonly used items, for glob import.
 pub mod prelude {
     pub use crate::apply::{ApplyPlan, OpKind};
+    pub use crate::cancel::{CancelReason, CancelToken};
     pub use crate::complex::{c64, Complex64};
     pub use crate::density::DensityMatrix;
     pub use crate::error::{CoreError, Result};

@@ -58,6 +58,8 @@
 //! meant "all cores", two different fallbacks for the same kind of bad
 //! input.)
 
+use crate::cancel::{CancelReason, CancelToken};
+use crate::error::CoreError;
 use std::cell::Cell;
 use std::num::NonZeroUsize;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
@@ -169,15 +171,56 @@ where
 /// [`par_map_threads`] that additionally reports how many chunks panicked
 /// and were recovered by the serial retry. Guarded simulator runs surface
 /// the count as [`crate::guard::RunHealth::retries`].
-#[allow(unsafe_code)] // one lifetime erasure, justified below
 pub fn par_map_threads_counted<T, F>(n: usize, threads: usize, f: F) -> (Vec<T>, usize)
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
+    par_map_impl(n, threads, None, f).expect("uncancellable map cannot be cancelled")
+}
+
+/// Cancellable [`par_map_threads_counted`]: the token is checked once on
+/// entry (consuming one check-budget unit, so budget spend is independent of
+/// the thread count) and polled **between chunks** — each chunk looks at the
+/// token right before evaluating its range and skips if it has tripped.
+///
+/// The contract is all-or-nothing: either every chunk evaluated and the
+/// result is bitwise identical to the serial map, or no result is returned
+/// at all and the error reports the first chunk index that observed the
+/// trip. A run never yields a partially evaluated vector, which is what
+/// keeps cancelled sweeps reproducible. A tripped token is only reported if
+/// some chunk actually skipped — if all chunks beat the trip, the completed
+/// result is returned.
+pub fn par_map_threads_counted_cancel<T, F>(
+    n: usize,
+    threads: usize,
+    cancel: &CancelToken,
+    f: F,
+) -> crate::error::Result<(Vec<T>, usize)>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    par_map_impl(n, threads, Some(cancel), f)
+}
+
+#[allow(unsafe_code)] // one lifetime erasure, justified below
+fn par_map_impl<T, F>(
+    n: usize,
+    threads: usize,
+    cancel: Option<&CancelToken>,
+    f: F,
+) -> crate::error::Result<(Vec<T>, usize)>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if let Some(token) = cancel {
+        token.check(0)?;
+    }
     let threads = threads.max(1).min(n);
     if threads <= 1 || IS_POOL_WORKER.with(Cell::get) {
-        return ((0..n).map(f).collect(), 0);
+        return Ok(((0..n).map(f).collect(), 0));
     }
 
     // Contiguous chunks: chunk t evaluates [starts[t], starts[t+1]).
@@ -193,13 +236,17 @@ where
     }
 
     let pool = pool();
-    let (done_tx, done_rx) = channel::<(usize, std::thread::Result<Vec<T>>)>();
+    // `Ok(None)` marks a chunk that observed a tripped cancel token and
+    // skipped evaluation; the gather below turns any skip into an error
+    // after every outstanding chunk has settled.
+    let (done_tx, done_rx) = channel::<(usize, std::thread::Result<Option<Vec<T>>>)>();
     let f = &f;
     {
         let queue = pool.sender.lock().expect("pool queue poisoned");
         for (idx, range) in ranges.iter().enumerate().skip(1) {
             let range = range.clone();
             let done_tx = done_tx.clone();
+            let token = cancel.cloned();
             // Chunk faults are decided here, on the dispatching thread, so
             // the injection harness works at any thread count.
             #[cfg(feature = "fault-inject")]
@@ -208,7 +255,13 @@ where
                 let result = catch_unwind(AssertUnwindSafe(|| {
                     #[cfg(feature = "fault-inject")]
                     injected.fire(idx);
-                    range.map(f).collect::<Vec<T>>()
+                    // Non-consuming poll: chunk-level checks must not spend
+                    // check budget, or budget consumption would depend on
+                    // the thread count.
+                    if token.as_ref().is_some_and(|t| t.status().is_some()) {
+                        return None;
+                    }
+                    Some(range.map(f).collect::<Vec<T>>())
                 }));
                 // The send is the job's completion signal; it must be the
                 // last use of any borrowed data and it cannot panic.
@@ -236,27 +289,40 @@ where
     let own = catch_unwind(AssertUnwindSafe(|| {
         #[cfg(feature = "fault-inject")]
         own_injected.fire(0);
-        ranges[0].clone().map(f).collect::<Vec<T>>()
+        if cancel.is_some_and(|t| t.status().is_some()) {
+            return None;
+        }
+        Some(ranges[0].clone().map(f).collect::<Vec<T>>())
     }));
 
     let mut slots: Vec<Option<Vec<T>>> = Vec::with_capacity(threads);
     slots.resize_with(threads, || None);
     let mut failed: Vec<usize> = Vec::new();
+    let mut skipped: Vec<usize> = Vec::new();
     for _ in 1..threads {
         let (idx, result) = done_rx.recv().expect("pool job always reports completion");
         match result {
-            Ok(values) => slots[idx] = Some(values),
+            Ok(Some(values)) => slots[idx] = Some(values),
+            Ok(None) => skipped.push(idx),
             Err(_) => failed.push(idx),
         }
     }
     // All jobs are quiescent from here on; every borrow of `f` and the
-    // result channel has ended, so retrying serially — or unwinding — is
-    // safe. Each failed chunk is re-evaluated once on this thread: chunks
-    // are pure functions of the index, so a transient failure recovers the
-    // exact serial result and a deterministic one panics again.
+    // result channel has ended, so retrying serially — unwinding, or
+    // returning the cancellation error — is safe. Each failed chunk is
+    // re-evaluated once on this thread: chunks are pure functions of the
+    // index, so a transient failure recovers the exact serial result and a
+    // deterministic one panics again.
     match own {
-        Ok(values) => slots[0] = Some(values),
+        Ok(Some(values)) => slots[0] = Some(values),
+        Ok(None) => skipped.push(0),
         Err(_) => failed.push(0),
+    }
+    if let Some(&step) = skipped.iter().min() {
+        // A skip implies the token tripped (trips are sticky), so the reason
+        // is still observable here; partial results are discarded wholesale.
+        let reason = cancel.and_then(CancelToken::status).unwrap_or(CancelReason::Requested);
+        return Err(CoreError::Cancelled { step, reason });
     }
     let mut retries = 0usize;
     failed.sort_unstable();
@@ -269,7 +335,7 @@ where
             Err(payload) => resume_unwind(payload),
         }
     }
-    (slots.into_iter().flat_map(|v| v.expect("every chunk reported")).collect(), retries)
+    Ok((slots.into_iter().flat_map(|v| v.expect("every chunk reported")).collect(), retries))
 }
 
 /// Chunk-level fault decisions for one dispatch, taken on the caller thread
@@ -400,6 +466,66 @@ mod tests {
         // Serial path also reports zero.
         let (_, retries) = par_map_threads_counted(8, 1, |i| i);
         assert_eq!(retries, 0);
+    }
+
+    #[test]
+    fn cancelled_token_stops_before_any_evaluation() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let token = CancelToken::new();
+        token.cancel();
+        let evaluated = AtomicUsize::new(0);
+        let err = par_map_threads_counted_cancel(100, 4, &token, |i| {
+            evaluated.fetch_add(1, Ordering::SeqCst);
+            i
+        })
+        .unwrap_err();
+        assert!(matches!(err, CoreError::Cancelled { step: 0, .. }), "{err:?}");
+        assert_eq!(evaluated.load(Ordering::SeqCst), 0, "entry check must precede dispatch");
+    }
+
+    #[test]
+    fn untripped_token_is_bitwise_identical_to_plain_map() {
+        let token = CancelToken::new();
+        let serial: Vec<u64> = (0..500).map(|i| (i as u64).wrapping_mul(0xABCD_EF12)).collect();
+        for threads in [1, 2, 5, 9] {
+            let (out, retries) = par_map_threads_counted_cancel(500, threads, &token, |i| {
+                (i as u64).wrapping_mul(0xABCD_EF12)
+            })
+            .unwrap();
+            assert_eq!(out, serial, "threads = {threads}");
+            assert_eq!(retries, 0);
+        }
+    }
+
+    #[test]
+    fn entry_check_spends_exactly_one_budget_unit_per_call() {
+        // Budget consumption must not depend on the thread count: only the
+        // entry check consumes; per-chunk polls are non-consuming.
+        let token = CancelToken::new().with_check_budget(2);
+        par_map_threads_counted_cancel(64, 8, &token, |i| i).unwrap();
+        par_map_threads_counted_cancel(64, 8, &token, |i| i).unwrap();
+        let err = par_map_threads_counted_cancel(64, 8, &token, |i| i).unwrap_err();
+        assert!(matches!(err, CoreError::Cancelled { step: 0, .. }), "{err:?}");
+    }
+
+    #[cfg(feature = "fault-inject")]
+    #[test]
+    fn chunk_slow_fault_drives_deadline_expiry_between_chunks() {
+        use crate::guard::inject;
+        // Chunk 1 is delayed well past the token's deadline; its post-delay
+        // poll must observe the expiry and abort the whole map with no
+        // partial result.
+        inject::arm(inject::Fault::ChunkSlow { chunk: 1, millis: 80 });
+        let token = CancelToken::with_deadline(std::time::Duration::from_millis(10));
+        let err = par_map_threads_counted_cancel(64, 2, &token, |i| i).unwrap_err();
+        inject::disarm_all();
+        assert_eq!(
+            err,
+            CoreError::Cancelled { step: 1, reason: CancelReason::DeadlineExceeded },
+            "slow chunk must observe the expired deadline at its pre-evaluation poll"
+        );
+        // The pool remains usable and uncancelled maps still complete.
+        assert_eq!(par_map_threads(4, 2, |i| i), vec![0, 1, 2, 3]);
     }
 
     #[test]

@@ -1,0 +1,134 @@
+//! Serving-layer smoke check, run by CI.
+//!
+//! Drives a mixed QAOA/reservoir workload through a small engine and
+//! asserts the resilience contract end to end: every job completes with
+//! conserved probability, topologically identical submissions share one
+//! compiled plan, a cancelled job resolves `Cancelled` promptly, and
+//! graceful shutdown drains every admitted job while rejecting new ones.
+//! Exits non-zero (panics) on any violation.
+
+use std::time::{Duration, Instant};
+
+use qudit_circuit::noise::NoiseModel;
+use qudit_circuit::{Circuit, Gate, Param};
+use qudit_core::matrix::CMatrix;
+use qudit_core::Complex64;
+use qudit_serve::{
+    CancelReason, GuardConfig, JobOutcome, JobSpec, ServeConfig, ServeEngine, SubmitError,
+};
+
+/// QAOA-style parameterized two-qutrit circuit: mixer layers reading
+/// `Param::Free(0..layers)`. Every binding shares one compiled plan.
+fn qaoa_circuit(layers: usize) -> Circuit {
+    let mut c = Circuit::new(vec![3, 3]);
+    let mixer = CMatrix::from_fn(3, 3, |r, s| {
+        if r.abs_diff(s) == 1 {
+            Complex64::new(1.0, 0.0)
+        } else {
+            Complex64::new(0.0, 0.0)
+        }
+    });
+    for layer in 0..layers {
+        c.push(Gate::fourier(3), &[layer % 2]).unwrap();
+        c.push(Gate::csum(3, 3), &[0, 1]).unwrap();
+        let g = Gate::parameterized(format!("mix{layer}"), vec![3], &mixer, Param::Free(layer))
+            .unwrap();
+        c.push(g, &[layer % 2]).unwrap();
+    }
+    c
+}
+
+/// Reservoir-style dissipative circuit: repeated couplings whose noise
+/// channels make the density back-end the natural choice.
+fn reservoir_circuit(depth: usize) -> Circuit {
+    let mut c = Circuit::new(vec![3, 3, 3]);
+    for i in 0..depth {
+        c.push(Gate::fourier(3), &[i % 3]).unwrap();
+        c.push(Gate::csum(3, 3), &[i % 3, (i + 1) % 3]).unwrap();
+    }
+    c
+}
+
+fn expect_completed(outcome: JobOutcome) -> Vec<f64> {
+    match outcome {
+        JobOutcome::Completed(values) => values,
+        other => panic!("expected Completed, got {other:?}"),
+    }
+}
+
+fn main() {
+    let config = ServeConfig::default()
+        .with_workers(4)
+        .with_guard(GuardConfig::enabled().with_cadence(4))
+        .with_noise(NoiseModel::depolarizing(0.01, 0.005));
+    let engine = ServeEngine::start(config);
+
+    // --- Mixed workload: a QAOA parameter sweep plus reservoir probes. ---
+    let layers = 3;
+    let mut handles = Vec::new();
+    for i in 0..8 {
+        let thetas: Vec<f64> = (0..layers).map(|l| 0.1 + 0.2 * (i + l) as f64).collect();
+        handles.push(
+            engine.submit(JobSpec::statevector(qaoa_circuit(layers)).with_params(thetas)).unwrap(),
+        );
+        handles.push(engine.submit(JobSpec::density(reservoir_circuit(6))).unwrap());
+    }
+    for handle in &handles {
+        let values = expect_completed(handle.wait());
+        let total: f64 = values.iter().sum();
+        assert!((total - 1.0).abs() < 1e-6, "probability not conserved: {total}");
+    }
+    let stats = engine.stats();
+    assert_eq!(stats.completed, 16, "all workload jobs must complete");
+    assert_eq!(
+        stats.statevector_cache.misses, 1,
+        "QAOA sweep must share one compiled statevector plan"
+    );
+    assert_eq!(
+        stats.density_cache.misses, 1,
+        "reservoir probes must share one compiled density plan"
+    );
+
+    // --- Cancellation: a cancelled job resolves Cancelled, promptly. ---
+    engine.pause();
+    let victim = engine.submit(JobSpec::density(reservoir_circuit(40))).unwrap();
+    victim.cancel();
+    engine.resume();
+    let t0 = Instant::now();
+    let outcome = victim.wait();
+    let latency = t0.elapsed();
+    assert_eq!(outcome, JobOutcome::Cancelled(CancelReason::Requested));
+    assert!(latency < Duration::from_secs(2), "cancellation took {latency:?}");
+
+    // --- Graceful shutdown: drains admitted work, rejects new work. ---
+    engine.pause();
+    let draining: Vec<_> = (0..6)
+        .map(|_| engine.submit(JobSpec::statevector(qaoa_circuit(1)).with_params(vec![0.3])))
+        .collect::<Result<_, _>>()
+        .unwrap();
+    engine.shutdown();
+    assert_eq!(
+        engine.submit(JobSpec::density(reservoir_circuit(2))).unwrap_err(),
+        SubmitError::ShuttingDown
+    );
+    for handle in &draining {
+        expect_completed(handle.wait());
+    }
+    let stats = engine.stats();
+    engine.join();
+    assert_eq!(stats.cancelled, 1);
+    assert_eq!(stats.rejected, 1);
+    assert_eq!(stats.completed, 22, "shutdown must drain every admitted job");
+
+    println!(
+        "serve smoke OK: {} completed, {} cancelled, {} rejected, \
+         sv cache {}h/{}m, density cache {}h/{}m",
+        stats.completed,
+        stats.cancelled,
+        stats.rejected,
+        stats.statevector_cache.hits,
+        stats.statevector_cache.misses,
+        stats.density_cache.hits,
+        stats.density_cache.misses,
+    );
+}

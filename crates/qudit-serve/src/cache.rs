@@ -1,0 +1,301 @@
+//! Concurrent plan cache with single-flight compilation and LRU eviction.
+//!
+//! The serving engine keys compiled execution plans by the submitting
+//! circuit's [`structural hash`](qudit_circuit::Circuit::structural_hash),
+//! which identifies free parameters by *index* rather than value — one
+//! cached plan therefore serves every binding of the same parameterized
+//! circuit, and per-request state lives in the plan's cheap-to-clone bind
+//! overlay, never in the cache.
+//!
+//! Two concurrency rules keep the cache cheap under load:
+//!
+//! * **Single-flight compilation** — the first requester of a missing key
+//!   claims a `Pending` slot and compiles *outside* the lock; concurrent
+//!   requesters of the same key block on a condvar instead of compiling the
+//!   same plan again, and are woken with the shared result (or retry from
+//!   scratch if the compile failed — errors are propagated to the claimant
+//!   and the slot is removed, so a transient failure never wedges the key).
+//! * **LRU eviction** — only `Ready` entries count toward capacity and only
+//!   the least-recently-used `Ready` entry is evicted; in-flight `Pending`
+//!   slots are pinned.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
+
+/// Counter snapshot for one [`PlanCache`], reported through
+/// [`ServeStats`](crate::ServeStats).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Requests answered from a `Ready` entry.
+    pub hits: u64,
+    /// Requests that compiled (including every request when the cache is
+    /// disabled with capacity 0).
+    pub misses: u64,
+    /// `Ready` entries evicted to respect the capacity bound.
+    pub evictions: u64,
+    /// Requests that found a `Pending` slot and waited on the in-flight
+    /// compile instead of duplicating it.
+    pub coalesced: u64,
+}
+
+enum Slot<V> {
+    /// A compile for this key is in flight on some other thread.
+    Pending,
+    /// The compiled plan, ready to clone out.
+    Ready(V),
+}
+
+struct Entry<V> {
+    key: u64,
+    slot: Slot<V>,
+    /// Monotone LRU stamp: bumped on insert and on every hit.
+    used: u64,
+}
+
+struct Inner<V> {
+    entries: Vec<Entry<V>>,
+    tick: u64,
+}
+
+/// A bounded concurrent map from structural hash to compiled plan, with
+/// single-flight compile deduplication and LRU eviction. Capacity `0`
+/// disables caching entirely (every request compiles) — the serving bench
+/// uses that mode as its compile-per-request baseline.
+pub struct PlanCache<V: Clone> {
+    capacity: usize,
+    inner: Mutex<Inner<V>>,
+    ready: Condvar,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    coalesced: AtomicU64,
+}
+
+impl<V: Clone> PlanCache<V> {
+    /// Creates a cache holding at most `capacity` ready plans.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            inner: Mutex::new(Inner { entries: Vec::new(), tick: 0 }),
+            ready: Condvar::new(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of ready (cloneable) plans currently cached.
+    pub fn len(&self) -> usize {
+        let inner = self.inner.lock().expect("plan cache poisoned");
+        inner.entries.iter().filter(|e| matches!(e.slot, Slot::Ready(_))).count()
+    }
+
+    /// Whether the cache currently holds no ready plan.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Returns the plan for `key`, compiling it with `compile` on a miss.
+    ///
+    /// Exactly one thread compiles a missing key at a time (single-flight);
+    /// the others wait and share the result. `compile` runs outside the
+    /// cache lock, so a slow compilation never blocks hits on other keys.
+    ///
+    /// # Errors
+    /// Propagates the compile error to the claiming caller; waiting callers
+    /// retry (and may claim the slot themselves).
+    pub fn get_or_compile<E>(
+        &self,
+        key: u64,
+        compile: impl FnOnce() -> Result<V, E>,
+    ) -> Result<V, E> {
+        if self.capacity == 0 {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return compile();
+        }
+        let mut inner = self.inner.lock().expect("plan cache poisoned");
+        let mut counted_wait = false;
+        loop {
+            match inner.entries.iter().position(|e| e.key == key) {
+                Some(pos) if matches!(inner.entries[pos].slot, Slot::Ready(_)) => {
+                    inner.tick += 1;
+                    inner.entries[pos].used = inner.tick;
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    let Slot::Ready(v) = &inner.entries[pos].slot else { unreachable!() };
+                    return Ok(v.clone());
+                }
+                Some(_) => {
+                    // Another thread is compiling this key: wait for it.
+                    if !counted_wait {
+                        self.coalesced.fetch_add(1, Ordering::Relaxed);
+                        counted_wait = true;
+                    }
+                    inner = self.ready.wait(inner).expect("plan cache poisoned");
+                }
+                None => break,
+            }
+        }
+        // Miss: claim the slot, then compile outside the lock.
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        inner.tick += 1;
+        let used = inner.tick;
+        inner.entries.push(Entry { key, slot: Slot::Pending, used });
+        drop(inner);
+
+        let result = compile();
+
+        let mut inner = self.inner.lock().expect("plan cache poisoned");
+        let pos = inner
+            .entries
+            .iter()
+            .position(|e| e.key == key)
+            .expect("pending slots are pinned until resolved");
+        match result {
+            Ok(v) => {
+                inner.tick += 1;
+                let used = inner.tick;
+                inner.entries[pos] = Entry { key, slot: Slot::Ready(v.clone()), used };
+                self.evict_over_capacity(&mut inner);
+                self.ready.notify_all();
+                Ok(v)
+            }
+            Err(e) => {
+                inner.entries.remove(pos);
+                self.ready.notify_all();
+                Err(e)
+            }
+        }
+    }
+
+    /// Evicts least-recently-used `Ready` entries until at most `capacity`
+    /// remain. The entry inserted last carries the newest stamp, so it is
+    /// never the victim while any older ready entry exists.
+    fn evict_over_capacity(&self, inner: &mut Inner<V>) {
+        loop {
+            let ready = inner.entries.iter().filter(|e| matches!(e.slot, Slot::Ready(_))).count();
+            if ready <= self.capacity {
+                return;
+            }
+            let victim = inner
+                .entries
+                .iter()
+                .enumerate()
+                .filter(|(_, e)| matches!(e.slot, Slot::Ready(_)))
+                .min_by_key(|(_, e)| e.used)
+                .map(|(i, _)| i)
+                .expect("ready count over capacity implies a ready entry");
+            inner.entries.remove(victim);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Arc;
+
+    #[test]
+    fn hit_after_miss_does_not_recompile() {
+        let cache: PlanCache<i32> = PlanCache::new(4);
+        let compiles = AtomicUsize::new(0);
+        for _ in 0..3 {
+            let v = cache
+                .get_or_compile(7, || {
+                    compiles.fetch_add(1, Ordering::Relaxed);
+                    Ok::<_, ()>(42)
+                })
+                .unwrap();
+            assert_eq!(v, 42);
+        }
+        assert_eq!(compiles.load(Ordering::Relaxed), 1);
+        let stats = cache.stats();
+        assert_eq!((stats.misses, stats.hits), (1, 2));
+    }
+
+    #[test]
+    fn capacity_zero_compiles_every_request() {
+        let cache: PlanCache<i32> = PlanCache::new(0);
+        for _ in 0..3 {
+            cache.get_or_compile(1, || Ok::<_, ()>(5)).unwrap();
+        }
+        let stats = cache.stats();
+        assert_eq!((stats.misses, stats.hits), (3, 0));
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn lru_eviction_drops_least_recently_used() {
+        let cache: PlanCache<u64> = PlanCache::new(2);
+        cache.get_or_compile(1, || Ok::<_, ()>(1)).unwrap();
+        cache.get_or_compile(2, || Ok::<_, ()>(2)).unwrap();
+        // Touch key 1 so key 2 becomes the LRU victim.
+        cache.get_or_compile(1, || Ok::<_, ()>(99)).unwrap();
+        cache.get_or_compile(3, || Ok::<_, ()>(3)).unwrap();
+        assert_eq!(cache.stats().evictions, 1);
+        // Key 1 is still cached; key 2 was evicted and recompiles.
+        let compiled = AtomicUsize::new(0);
+        cache
+            .get_or_compile(1, || {
+                compiled.fetch_add(1, Ordering::Relaxed);
+                Ok::<_, ()>(0)
+            })
+            .unwrap();
+        assert_eq!(compiled.load(Ordering::Relaxed), 0, "key 1 must still be cached");
+        cache
+            .get_or_compile(2, || {
+                compiled.fetch_add(1, Ordering::Relaxed);
+                Ok::<_, ()>(0)
+            })
+            .unwrap();
+        assert_eq!(compiled.load(Ordering::Relaxed), 1, "key 2 must have been evicted");
+    }
+
+    #[test]
+    fn compile_error_propagates_and_unpins_the_key() {
+        let cache: PlanCache<i32> = PlanCache::new(2);
+        let err = cache.get_or_compile(9, || Err::<i32, _>("boom")).unwrap_err();
+        assert_eq!(err, "boom");
+        // The failed key is not wedged: the next request compiles again.
+        let v = cache.get_or_compile(9, || Ok::<_, &str>(11)).unwrap();
+        assert_eq!(v, 11);
+    }
+
+    #[test]
+    fn concurrent_requests_for_one_key_compile_once() {
+        let cache: Arc<PlanCache<u64>> = Arc::new(PlanCache::new(8));
+        let compiles = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let cache = Arc::clone(&cache);
+            let compiles = Arc::clone(&compiles);
+            handles.push(std::thread::spawn(move || {
+                cache
+                    .get_or_compile(5, || {
+                        compiles.fetch_add(1, Ordering::Relaxed);
+                        // Widen the race window so waiters actually coalesce.
+                        std::thread::sleep(std::time::Duration::from_millis(20));
+                        Ok::<_, ()>(77)
+                    })
+                    .unwrap()
+            }));
+        }
+        for h in handles {
+            assert_eq!(h.join().unwrap(), 77);
+        }
+        assert_eq!(compiles.load(Ordering::Relaxed), 1, "single-flight must deduplicate");
+        assert_eq!(cache.stats().misses, 1);
+    }
+}

@@ -1,0 +1,32 @@
+//! Per-job panic isolation (fault-injection builds only): a panicking job
+//! resolves as [`JobOutcome::Panicked`] and the worker thread survives to
+//! run subsequent jobs.
+
+#![cfg(feature = "fault-inject")]
+
+use qudit_circuit::{Circuit, Gate};
+use qudit_serve::{JobOutcome, JobSpec, ServeConfig, ServeEngine};
+
+#[test]
+fn worker_survives_an_injected_job_panic() {
+    // One worker: if the panic killed it, the second job would never run.
+    let engine = ServeEngine::start(ServeConfig::default().with_workers(1));
+    let bad = engine.submit(JobSpec::inject_panic()).unwrap();
+    let mut c = Circuit::new(vec![3]);
+    c.push(Gate::fourier(3), &[0]).unwrap();
+    let good = engine.submit(JobSpec::statevector(c)).unwrap();
+
+    match bad.wait() {
+        JobOutcome::Panicked(msg) => assert!(msg.contains("injected panic")),
+        other => panic!("expected Panicked, got {other:?}"),
+    }
+    match good.wait() {
+        JobOutcome::Completed(probs) => {
+            assert!((probs.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        }
+        other => panic!("expected Completed, got {other:?}"),
+    }
+    let stats = engine.stats();
+    assert_eq!((stats.panicked, stats.completed), (1, 1));
+    engine.join();
+}

@@ -24,6 +24,9 @@
 //!   encoding, NDAR and QRAC scaling.
 //! * [`qrc`] — application C: quantum reservoir computing on coupled
 //!   dissipative oscillators.
+//! * [`serve`] — resilient serving layer: cancellable job engine with
+//!   deadlines, backpressure and a shared single-flight plan cache
+//!   (re-export of `qudit-serve`).
 //!
 //! ## Quickstart
 //!
@@ -50,6 +53,7 @@ pub use qrc;
 pub use qudit_circuit as circuit;
 pub use qudit_compiler as compiler;
 pub use qudit_core as core;
+pub use qudit_serve as serve;
 
 /// Workspace version string, useful for experiment provenance records.
 pub const VERSION: &str = env!("CARGO_PKG_VERSION");
