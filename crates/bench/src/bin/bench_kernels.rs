@@ -1,6 +1,6 @@
 //! Kernel benchmark harness for PR 7: times the serving layer (shared plan
 //! cache, cancellation latency) on top of the PR-1/2/3/4/5/6 rows, prints a
-//! summary table and writes the numbers to `BENCH_7.json`.
+//! summary table and writes the numbers to `BENCH_8.json`.
 //!
 //! The earlier rows (trajectory expectation, deterministic sampling, raw
 //! sampler, measure/collapse, statevector fusion, syndrome-extraction flush
@@ -813,8 +813,8 @@ fn main() {
         &rows,
     );
 
-    // --- BENCH_7.json (hand-rolled: no JSON dependency offline). ---------
-    let mut json = String::from("{\n  \"bench\": 7,\n");
+    // --- BENCH_8.json (hand-rolled: no JSON dependency offline). ---------
+    let mut json = String::from("{\n  \"bench\": 8,\n");
     json.push_str(&format!(
         "  \"workload\": {{\"circuit\": \"small_sqed_circuit\", \"sites\": {sites}, \"link_dim\": {d}, \"trotter_steps\": {steps}, \"dim\": {dim}}},\n"
     ));
@@ -879,6 +879,6 @@ fn main() {
         ));
     }
     json.push_str("  ]\n}\n");
-    std::fs::write("BENCH_7.json", &json).expect("write BENCH_7.json");
-    println!("\nwrote BENCH_7.json");
+    std::fs::write("BENCH_8.json", &json).expect("write BENCH_8.json");
+    println!("\nwrote BENCH_8.json");
 }

@@ -2,6 +2,8 @@
 //! benchmarks: the three Table-I application circuits, the
 //! syndrome-extraction readout workload, and common reporting helpers.
 
+#![forbid(unsafe_code)]
+
 pub mod baseline;
 
 use lgt::hamiltonian::{sqed_chain, SqedParams};

@@ -192,6 +192,12 @@ pub(crate) struct CircuitKernels {
     /// Per-qudit dimensions of the register the plan was compiled for.
     pub dims: Vec<usize>,
     pub steps: Vec<ExecStep>,
+    /// Source-instruction indices realized by each step, parallel to
+    /// `steps`: the absorbed gate indices (program order) for a fused block,
+    /// the single instruction index otherwise. Dropped no-op barriers appear
+    /// in no entry. Consumed by `sim::introspect` / `qudit-verify` only —
+    /// the run loops never read it.
+    pub origins: Vec<Vec<usize>>,
     /// One photon-loss channel per qudit, used at each `Barrier` when the
     /// model has idle loss (empty otherwise).
     pub barrier_loss: Vec<ChannelKernel>,
@@ -250,7 +256,12 @@ impl CircuitKernels {
         let zeros = vec![0.0f64; num_params];
 
         let mut steps = Vec::with_capacity(fused.len());
+        let mut origins = Vec::with_capacity(fused.len());
         for item in fused {
+            origins.push(match &item {
+                FusedInst::Block { gates, .. } => gates.clone(),
+                FusedInst::Gate { index } | FusedInst::Passthrough { index } => vec![*index],
+            });
             steps.push(match item {
                 FusedInst::Block { targets, gates } => {
                     let plan = ApplyPlan::new(radix, &targets).map_err(CircuitError::Core)?;
@@ -319,7 +330,7 @@ impl CircuitKernels {
                 },
             });
         }
-        Ok(Self { dims: dims.to_vec(), steps, barrier_loss, stats, num_params })
+        Ok(Self { dims: dims.to_vec(), steps, origins, barrier_loss, stats, num_params })
     }
 
     /// Re-materialises the operators (and exact [`OpKind`] classifications)
@@ -547,11 +558,51 @@ pub(crate) enum DensityRecipe {
     Super { step: usize, parts: Vec<SuperPart>, targets: Vec<usize> },
 }
 
+/// Why a density-compiler constituent item exists: its relation to the
+/// source instruction(s) it was lowered from. Consumed by
+/// `sim::introspect` / `qudit-verify` only.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DensityRole {
+    /// The instruction's own map: a (possibly fused) unitary or an explicit
+    /// channel.
+    Primary,
+    /// The `index`-th noise channel the model attaches after a gate.
+    GateNoise(usize),
+    /// Full dephasing of one measured target (non-selective measurement).
+    MeasureDephase(usize),
+    /// The reset-to-`|0⟩` channel of a reset instruction.
+    Reset,
+    /// The idle-loss channel of qudit `usize` at a lossy barrier.
+    BarrierLoss(usize),
+}
+
+/// Provenance of one density-compiler item: which source instructions it was
+/// lowered from, in what role, on which wires. Consumed by
+/// `sim::introspect` / `qudit-verify` only — the run loops never read it.
+#[derive(Debug, Clone)]
+pub struct ItemOrigin {
+    /// Source-instruction indices, ascending (= program order for fused
+    /// primaries, a single index otherwise).
+    pub sources: Vec<usize>,
+    /// The item's relation to its source instruction(s).
+    pub role: DensityRole,
+    /// The wires the item acts on, in the item's operator index order.
+    pub targets: Vec<usize>,
+    /// `true` iff the item's operator depends on a free parameter.
+    pub parametric: bool,
+}
+
 /// The compiled density execution plan (see [`DensityStep`]).
 #[derive(Debug, Clone)]
 pub(crate) struct DensityKernels {
     pub dims: Vec<usize>,
     pub steps: Vec<DensityStep>,
+    /// Provenance of every constituent item the compiler folded over,
+    /// in item (= linearised program) order.
+    pub item_origins: Vec<ItemOrigin>,
+    /// Item indices consumed by each emitted step, parallel to `steps`
+    /// (ascending within a step = program order of the folded constituents).
+    pub step_items: Vec<Vec<usize>>,
     /// What the (shared) fusion pass did.
     pub fusion_stats: FusionStats,
     /// What the superoperator compiler did.
@@ -714,7 +765,7 @@ impl DensityKernels {
     pub(crate) fn compile(kernels: &CircuitKernels, config: &SuperopConfig) -> Result<Self> {
         let radix = Radix::new(kernels.dims.clone()).map_err(CircuitError::Core)?;
         let zeros = vec![0.0f64; kernels.num_params];
-        let items = collect_density_items(kernels, config, &radix)?;
+        let (items, item_origins) = collect_density_items(kernels, config, &radix)?;
         let mut builder = DensityFrontier {
             radix: &radix,
             dims: &kernels.dims,
@@ -724,6 +775,7 @@ impl DensityKernels {
             open: Vec::new(),
             wire: vec![None; kernels.dims.len()],
             steps: Vec::new(),
+            step_items: Vec::new(),
             rebind: Vec::new(),
             stats: SuperopStats::default(),
         };
@@ -745,6 +797,8 @@ impl DensityKernels {
         Ok(Self {
             dims: kernels.dims.clone(),
             steps: builder.steps,
+            item_origins,
+            step_items: builder.step_items,
             fusion_stats: kernels.stats,
             stats: builder.stats,
             rebind: builder.rebind,
@@ -807,6 +861,8 @@ struct DensityFrontier<'a> {
     open: Vec<Option<OpenSuper>>,
     wire: Vec<Option<usize>>,
     steps: Vec<DensityStep>,
+    /// Item indices consumed by each emitted step, parallel to `steps`.
+    step_items: Vec<Vec<usize>>,
     rebind: Vec<DensityRecipe>,
     stats: SuperopStats,
 }
@@ -831,6 +887,7 @@ impl DensityFrontier<'_> {
     /// Emits an item verbatim (batching disabled): unitaries as sandwiches,
     /// channels on the per-term Kraus path.
     fn emit_verbatim(&mut self, id: usize) -> Result<()> {
+        self.step_items.push(vec![id]);
         match self.items[id].take().expect("items are consumed once") {
             DensityItem::Unitary { plan, kind, op, recipe, .. } => {
                 if let Some(recipe) = recipe {
@@ -928,6 +985,7 @@ impl DensityFrontier<'_> {
                 targets: block.targets,
             });
         }
+        self.step_items.push(ids);
         self.steps.push(DensityStep::Super { plan, kind, sup, fallback, defect_tol });
         Ok(())
     }
@@ -1046,8 +1104,9 @@ fn collect_density_items(
     kernels: &CircuitKernels,
     config: &SuperopConfig,
     radix: &Radix,
-) -> Result<Vec<DensityItem>> {
+) -> Result<(Vec<DensityItem>, Vec<ItemOrigin>)> {
     let mut items = Vec::with_capacity(kernels.steps.len());
+    let mut origins: Vec<ItemOrigin> = Vec::with_capacity(kernels.steps.len());
     let push_channel = |items: &mut Vec<DensityItem>, kernel: ChannelKernel| -> Result<()> {
         if kernel.channel.operators().len() == 1 {
             items.push(DensityItem::Unitary {
@@ -1087,9 +1146,15 @@ fn collect_density_items(
         Ok(())
     };
 
-    for step in &kernels.steps {
+    for (step, sources) in kernels.steps.iter().zip(kernels.origins.iter()) {
         match step {
             ExecStep::Apply { targets, plan, kind, op, noise, recipe } => {
+                origins.push(ItemOrigin {
+                    sources: sources.clone(),
+                    role: DensityRole::Primary,
+                    targets: targets.clone(),
+                    parametric: recipe.is_some(),
+                });
                 items.push(DensityItem::Unitary {
                     targets: targets.clone(),
                     plan: plan.clone(),
@@ -1098,31 +1163,64 @@ fn collect_density_items(
                     recipe: recipe.clone(),
                     tol: 0.0,
                 });
-                for ch in noise {
+                for (j, ch) in noise.iter().enumerate() {
+                    origins.push(ItemOrigin {
+                        sources: sources.clone(),
+                        role: DensityRole::GateNoise(j),
+                        targets: ch.targets.clone(),
+                        parametric: false,
+                    });
                     push_channel(&mut items, ch.clone())?;
                 }
             }
-            ExecStep::Channel(ch) => push_channel(&mut items, ch.clone())?,
+            ExecStep::Channel(ch) => {
+                origins.push(ItemOrigin {
+                    sources: sources.clone(),
+                    role: DensityRole::Primary,
+                    targets: ch.targets.clone(),
+                    parametric: false,
+                });
+                push_channel(&mut items, ch.clone())?;
+            }
             ExecStep::Measure { targets } => {
                 // Non-selective measurement: full dephasing of each target.
                 for &t in targets {
+                    origins.push(ItemOrigin {
+                        sources: sources.clone(),
+                        role: DensityRole::MeasureDephase(t),
+                        targets: vec![t],
+                        parametric: false,
+                    });
                     let deph = KrausChannel::dephasing(kernels.dims[t], 1.0)?;
                     push_channel(&mut items, ChannelKernel::new(radix, deph, vec![t])?)?;
                 }
             }
             ExecStep::Reset { target } => {
+                origins.push(ItemOrigin {
+                    sources: sources.clone(),
+                    role: DensityRole::Reset,
+                    targets: vec![*target],
+                    parametric: false,
+                });
                 let d = kernels.dims[*target];
                 let reset = KrausChannel::new("reset", vec![d], reset_channel(d))?;
                 push_channel(&mut items, ChannelKernel::new(radix, reset, vec![*target])?)?;
             }
             ExecStep::Barrier => {
-                for ch in &kernels.barrier_loss {
+                for (q, ch) in kernels.barrier_loss.iter().enumerate() {
+                    origins.push(ItemOrigin {
+                        sources: sources.clone(),
+                        role: DensityRole::BarrierLoss(q),
+                        targets: ch.targets.clone(),
+                        parametric: false,
+                    });
                     push_channel(&mut items, ch.clone())?;
                 }
             }
         }
     }
-    Ok(items)
+    debug_assert_eq!(items.len(), origins.len());
+    Ok((items, origins))
 }
 
 /// Kraus operators of the reset-to-`|0⟩` channel: `K_i = |0⟩⟨i|`.

@@ -27,6 +27,7 @@
 //! density plan and its [`SuperopStats`].
 
 pub mod fusion;
+pub mod introspect;
 
 mod density;
 mod kernels;

@@ -253,16 +253,21 @@ fn wire_local_compiles_fewer_apply_steps_on_syndrome_workloads() {
     for trial in 0..trials {
         let mut rng = StdRng::seed_from_u64(13_000 + trial);
         let c = random_syndrome_circuit(&mut rng);
-        let wl = StatevectorSimulator::new()
-            .with_fusion(wire_local())
-            .compile(&c)
-            .unwrap()
-            .fusion_stats();
-        let gl = StatevectorSimulator::new()
-            .with_fusion(global_flush())
-            .compile(&c)
-            .unwrap()
-            .fusion_stats();
+        let wl_plan = StatevectorSimulator::new().with_fusion(wire_local()).compile(&c).unwrap();
+        let gl_plan = StatevectorSimulator::new().with_fusion(global_flush()).compile(&c).unwrap();
+        // Debug builds translation-validate both flush policies' plans — in
+        // particular the wire-local barrier crossings must all be proven
+        // disjoint-support reorderings.
+        #[cfg(debug_assertions)]
+        {
+            let vcfg = qudit_verify::VerifyConfig::default();
+            qudit_verify::verify_statevector(&c, &wl_plan, &vcfg.clone().with_fusion(wire_local()))
+                .unwrap();
+            qudit_verify::verify_statevector(&c, &gl_plan, &vcfg.with_fusion(global_flush()))
+                .unwrap();
+        }
+        let wl = wl_plan.fusion_stats();
+        let gl = gl_plan.fusion_stats();
         assert!(
             wl.unitary_steps_out <= gl.unitary_steps_out,
             "trial {trial}: wire-local regressed: {wl:?} vs {gl:?}"

@@ -90,6 +90,13 @@ fn fused_equals_unfused_on_random_unitary_circuits() {
             .run(&c)
             .unwrap();
         amplitudes_match(&fused, &unfused);
+        // Debug builds also translation-validate the fused plan statically.
+        #[cfg(debug_assertions)]
+        {
+            let plan = StatevectorSimulator::new().compile(&c).unwrap();
+            qudit_verify::verify_statevector(&c, &plan, &qudit_verify::VerifyConfig::default())
+                .unwrap();
+        }
     }
 }
 
@@ -199,6 +206,9 @@ fn compiled_circuit_reuse_matches_fresh_runs() {
     let sim = StatevectorSimulator::with_seed(11);
     let compiled = sim.compile(&c).unwrap();
     assert!(compiled.fusion_stats().unitary_steps_out <= compiled.fusion_stats().unitaries_in);
+    #[cfg(debug_assertions)]
+    qudit_verify::verify_statevector(&c, &compiled, &qudit_verify::VerifyConfig::default())
+        .unwrap();
     let fresh = sim.run_detailed(&c).unwrap();
     for _ in 0..3 {
         let rerun = sim.run_compiled(&compiled).unwrap();

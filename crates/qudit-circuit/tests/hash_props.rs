@@ -1,0 +1,149 @@
+//! Adversarial tests for `Circuit::structural_hash`, the key of the serving
+//! layer's plan cache. A silent collision there would hand a job a plan
+//! compiled for a *different* circuit, so these tests attack the canonical
+//! encoding directly: target permutations, parameter-slot swaps, gate/channel
+//! confusion, name-boundary ambiguity, and a broad distinctness sweep.
+
+use std::collections::{HashMap, HashSet};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use qudit_circuit::noise::KrausChannel;
+use qudit_circuit::{Circuit, Gate, Param};
+use qudit_core::matrix::CMatrix;
+use qudit_core::random::haar_unitary;
+
+#[test]
+fn permuted_targets_hash_differently() {
+    // Same gate object, reversed wire order: structurally different circuits
+    // (the operator acts with control and target exchanged).
+    let mut a = Circuit::uniform(2, 3);
+    a.push(Gate::csum(3, 3), &[0, 1]).unwrap();
+    let mut b = Circuit::uniform(2, 3);
+    b.push(Gate::csum(3, 3), &[1, 0]).unwrap();
+    assert_ne!(a.structural_hash(), b.structural_hash());
+
+    // Three-qudit permutations, pairwise distinct.
+    let mut rng = StdRng::seed_from_u64(41);
+    let u = haar_unitary(&mut rng, 8).unwrap();
+    let gate = Gate::custom("h3", vec![2, 2, 2], u).unwrap();
+    let mut seen = HashSet::new();
+    for targets in [[0, 1, 2], [0, 2, 1], [1, 0, 2], [1, 2, 0], [2, 0, 1], [2, 1, 0]] {
+        let mut c = Circuit::uniform(3, 2);
+        c.push(gate.clone(), &targets).unwrap();
+        assert!(seen.insert(c.structural_hash()), "collision at targets {targets:?}");
+    }
+}
+
+#[test]
+fn swapping_free_parameter_slots_changes_the_hash() {
+    // Identical gate sequence, but the two free-parameter indices trade
+    // places — binding [a, b] means different circuits, so the cache must
+    // not conflate them.
+    let h = CMatrix::diag_real(&[0.3, -0.2, 0.8]);
+    let build = |first: usize, second: usize| {
+        let mut c = Circuit::uniform(2, 3);
+        c.push(Gate::parameterized("p", vec![3], &h, Param::Free(first)).unwrap(), &[0]).unwrap();
+        c.push(Gate::parameterized("p", vec![3], &h, Param::Free(second)).unwrap(), &[1]).unwrap();
+        c
+    };
+    assert_ne!(build(0, 1).structural_hash(), build(1, 0).structural_hash());
+}
+
+#[test]
+fn bound_value_and_free_index_never_collide() {
+    // `Param::Bound(v)` hashes the value's bits, `Param::Free(idx)` the
+    // index — the tag byte keeps Bound(f64::from_bits-like coincidences)
+    // apart from every free slot.
+    let h = CMatrix::diag_real(&[0.1, 0.9]);
+    let mut hashes = HashSet::new();
+    for param in [Param::Bound(0.0), Param::Bound(1.0), Param::Free(0), Param::Free(1)] {
+        let mut c = Circuit::uniform(1, 2);
+        c.push(Gate::parameterized("p", vec![2], &h, param).unwrap(), &[0]).unwrap();
+        assert!(hashes.insert(c.structural_hash()), "collision at {param:?}");
+    }
+}
+
+#[test]
+fn unitary_gate_and_single_kraus_channel_do_not_collide() {
+    // The same matrix on the same wires, once as a gate and once as a
+    // one-operator channel: different instruction kinds, different hashes.
+    let mut rng = StdRng::seed_from_u64(42);
+    let u = haar_unitary(&mut rng, 3).unwrap();
+    let mut gate = Circuit::uniform(1, 3);
+    gate.push(Gate::custom("op", vec![3], u.clone()).unwrap(), &[0]).unwrap();
+    let mut channel = Circuit::uniform(1, 3);
+    channel.push_channel(KrausChannel::new("op", vec![3], vec![u]).unwrap(), &[0]).unwrap();
+    assert_ne!(gate.structural_hash(), channel.structural_hash());
+}
+
+#[test]
+fn gate_name_concatenation_boundaries_do_not_collide() {
+    // "ab" then "c" vs "a" then "bc": without a name terminator the two
+    // instruction streams would feed identical name bytes to the hash.
+    let mut rng = StdRng::seed_from_u64(43);
+    let u = haar_unitary(&mut rng, 2).unwrap();
+    let build = |first: &str, second: &str| {
+        let mut c = Circuit::uniform(2, 2);
+        c.push(Gate::custom(first, vec![2], u.clone()).unwrap(), &[0]).unwrap();
+        c.push(Gate::custom(second, vec![2], u.clone()).unwrap(), &[1]).unwrap();
+        c.structural_hash()
+    };
+    assert_ne!(build("ab", "c"), build("a", "bc"));
+}
+
+#[test]
+fn measure_target_lists_do_not_collide_across_instruction_boundaries() {
+    // measure([0]) + measure([1]) vs measure([0, 1]): the target-count
+    // prefix must keep adjacent measure instructions from running together.
+    let mut split = Circuit::uniform(2, 3);
+    split.measure(&[0]).unwrap();
+    split.measure(&[1]).unwrap();
+    let mut joint = Circuit::uniform(2, 3);
+    joint.measure(&[0, 1]).unwrap();
+    assert_ne!(split.structural_hash(), joint.structural_hash());
+}
+
+#[test]
+fn two_hundred_random_circuits_hash_distinctly() {
+    // A broad distinctness sweep: 200 structurally distinct random circuits
+    // (every circuit carries at least one random-phase SNAP gate, so no two
+    // are byte-identical) must produce 200 distinct hashes. With a sound
+    // 64-bit hash the collision odds here are ~1e-15; a collision means the
+    // encoding dropped structure.
+    let mut hashes: HashMap<u64, u64> = HashMap::new();
+    for trial in 0..200u64 {
+        let mut rng = StdRng::seed_from_u64(77_000 + trial);
+        let n = rng.gen_range(2..=4);
+        let dims: Vec<usize> = (0..n).map(|_| rng.gen_range(2..=4)).collect();
+        let mut c = Circuit::new(dims.clone());
+        let phases: Vec<f64> =
+            (0..dims[0]).map(|_| rng.gen::<f64>() * std::f64::consts::TAU).collect();
+        c.push(Gate::snap(dims[0], &phases), &[0]).unwrap();
+        for _ in 0..rng.gen_range(0..8) {
+            let q = rng.gen_range(0..n);
+            match rng.gen_range(0..4) {
+                0 => c.push(Gate::fourier(dims[q]), &[q]).unwrap(),
+                1 => c.push(Gate::shift_x(dims[q]), &[q]).unwrap(),
+                2 => c.measure(&[q]).unwrap(),
+                _ => c.push_channel(KrausChannel::dephasing(dims[q], 0.25).unwrap(), &[q]).unwrap(),
+            }
+        }
+        if let Some(prev) = hashes.insert(c.structural_hash(), trial) {
+            panic!("hash collision between trials {prev} and {trial}");
+        }
+    }
+}
+
+#[test]
+fn hash_is_stable_under_clone_and_repeated_calls() {
+    let mut rng = StdRng::seed_from_u64(5);
+    let u = haar_unitary(&mut rng, 6).unwrap();
+    let mut c = Circuit::new(vec![2, 3]);
+    c.push(Gate::custom("u", vec![2, 3], u).unwrap(), &[0, 1]).unwrap();
+    c.measure_all();
+    let h = c.structural_hash();
+    assert_eq!(h, c.structural_hash());
+    assert_eq!(h, c.clone().structural_hash());
+}

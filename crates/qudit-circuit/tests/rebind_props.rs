@@ -175,6 +175,16 @@ fn statevector_rebind_is_bitwise_identical_to_rebuild() {
                 "trial {trial}, round {round}: states must be bitwise identical"
             );
             assert_eq!(plan.num_steps(), steps, "rebinding must not change the plan topology");
+            // Debug builds translation-validate the freshly rebound plan:
+            // every override must carry exactly the recipe-at-θ operator.
+            #[cfg(debug_assertions)]
+            qudit_verify::verify_statevector_bound(
+                &c,
+                &plan,
+                &theta,
+                &qudit_verify::VerifyConfig::default(),
+            )
+            .unwrap();
         }
     }
 }

@@ -227,6 +227,14 @@ fn compiled_density_circuit_reuse_matches_fresh_runs() {
     }
     let sim = DensityMatrixSimulator::new().with_noise(NoiseModel::depolarizing(0.01, 0.02));
     let compiled = sim.compile(&c).unwrap();
+    // Debug builds translation-validate the density plan, sweeps included.
+    #[cfg(debug_assertions)]
+    qudit_verify::verify_density(
+        &c,
+        &compiled,
+        &qudit_verify::VerifyConfig::default().with_noise(NoiseModel::depolarizing(0.01, 0.02)),
+    )
+    .unwrap();
     let stats = compiled.superop_stats();
     assert!(stats.super_steps > 0, "superoperator sweeps must engage: {stats:?}");
     let fresh = sim.run(&c).unwrap();

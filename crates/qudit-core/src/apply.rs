@@ -213,7 +213,7 @@ impl OpKind {
 /// A reusable stride plan for one `(register, targets)` pair (see module
 /// docs). Plans are immutable after construction and `Sync`, so one plan can
 /// serve many threads; per-thread mutable scratch is passed into the kernels.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ApplyPlan {
     total_dim: usize,
     sub_dim: usize,
@@ -556,6 +556,9 @@ impl ApplyPlan {
         // complete before `par_map_threads` returns (its documented
         // contract), i.e. strictly within the lifetime of the `amps` borrow.
         unsafe impl Send for SyncPtr {}
+        // SAFETY: shared references only hand out the raw pointer; the jobs
+        // that dereference it write pairwise-disjoint index sets (see the
+        // dereference site below), so concurrent `&SyncPtr` access is benign.
         unsafe impl Sync for SyncPtr {}
 
         let shared = SyncPtr { ptr: amps.as_mut_ptr(), len: amps.len() };

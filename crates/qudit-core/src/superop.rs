@@ -40,7 +40,7 @@ use crate::radix::Radix;
 ///
 /// Like [`ApplyPlan`], a `SuperPlan` is immutable after construction and
 /// `Sync`; per-call mutable scratch is passed into [`SuperPlan::apply`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SuperPlan {
     /// Stride plan over the doubled register `dims ++ dims`, targeting the
     /// row-side and column-side copies of the channel targets.

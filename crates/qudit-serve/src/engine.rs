@@ -687,6 +687,28 @@ fn execute(shared: &Shared, job: &Job) -> JobOutcome {
     }
 }
 
+/// Debug-build translation validation: every freshly compiled statevector
+/// plan is verified against its source circuit before entering the cache.
+/// Release builds skip the check; the `qudit-verify` mutation suite is the
+/// standing evidence that these checks bite.
+#[cfg(debug_assertions)]
+fn debug_verify_sv(circuit: &Circuit, plan: &CompiledCircuit, noise: &NoiseModel) {
+    let vcfg = qudit_verify::VerifyConfig::default().with_noise(noise.clone());
+    if let Err(err) = qudit_verify::verify_statevector(circuit, plan, &vcfg) {
+        panic!("translation validation failed for a served statevector plan: {err}");
+    }
+}
+
+/// Debug-build translation validation for density plans (see
+/// [`debug_verify_sv`]).
+#[cfg(debug_assertions)]
+fn debug_verify_density(circuit: &Circuit, plan: &CompiledDensityCircuit, noise: &NoiseModel) {
+    let vcfg = qudit_verify::VerifyConfig::default().with_noise(noise.clone());
+    if let Err(err) = qudit_verify::verify_density(circuit, plan, &vcfg) {
+        panic!("translation validation failed for a served density plan: {err}");
+    }
+}
+
 /// One attempt: fetch (or compile) the shared plan, overlay the job's
 /// parameter binding, and run with the job's token and this attempt's guard.
 fn run_once(shared: &Shared, job: &Job, guard: GuardConfig) -> Result<Vec<f64>, CircuitError> {
@@ -696,8 +718,25 @@ fn run_once(shared: &Shared, job: &Job, guard: GuardConfig) -> Result<Vec<f64>, 
     match job.kind {
         JobKind::StatevectorProbs => {
             let mut plan = shared.sv_cache.get_or_compile(job.structural_hash, || {
-                StatevectorSimulator::new().with_noise(cfg.noise.clone()).compile(&job.circuit)
+                let plan = StatevectorSimulator::new()
+                    .with_noise(cfg.noise.clone())
+                    .compile(&job.circuit)?;
+                #[cfg(debug_assertions)]
+                debug_verify_sv(&job.circuit, &plan, &cfg.noise);
+                Ok::<_, CircuitError>(plan)
             })?;
+            // A structural-hash collision would hand this job a plan for a
+            // different circuit; the cheap shape invariants catch that class.
+            debug_assert_eq!(
+                plan.dims(),
+                job.circuit.dims(),
+                "plan-cache hit returned a plan with mismatched dimensions"
+            );
+            debug_assert_eq!(
+                plan.num_params(),
+                job.circuit.num_params(),
+                "plan-cache hit returned a plan with mismatched parameter count"
+            );
             if let Some(params) = &job.params {
                 plan.bind(params)?;
             }
@@ -711,8 +750,23 @@ fn run_once(shared: &Shared, job: &Job, guard: GuardConfig) -> Result<Vec<f64>, 
         }
         JobKind::DensityDiagonal => {
             let mut plan = shared.density_cache.get_or_compile(job.structural_hash, || {
-                DensityMatrixSimulator::new().with_noise(cfg.noise.clone()).compile(&job.circuit)
+                let plan = DensityMatrixSimulator::new()
+                    .with_noise(cfg.noise.clone())
+                    .compile(&job.circuit)?;
+                #[cfg(debug_assertions)]
+                debug_verify_density(&job.circuit, &plan, &cfg.noise);
+                Ok::<_, CircuitError>(plan)
             })?;
+            debug_assert_eq!(
+                plan.dims(),
+                job.circuit.dims(),
+                "plan-cache hit returned a plan with mismatched dimensions"
+            );
+            debug_assert_eq!(
+                plan.num_params(),
+                job.circuit.num_params(),
+                "plan-cache hit returned a plan with mismatched parameter count"
+            );
             if let Some(params) = &job.params {
                 plan.bind(params)?;
             }

@@ -1,0 +1,28 @@
+//! Repo-hygiene auditor.
+//!
+//! Usage: `repo_lint [ROOT]` — audits the workspace at `ROOT` (default: the
+//! current directory) and exits non-zero when any violation is found. See
+//! [`qudit_verify::hygiene`] for the rules.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let root = std::env::args().nth(1).map_or_else(|| PathBuf::from("."), PathBuf::from);
+    let violations = match qudit_verify::hygiene::audit_repo(&root) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("repo_lint: cannot walk {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    if violations.is_empty() {
+        println!("repo_lint: clean ({})", root.display());
+        return ExitCode::SUCCESS;
+    }
+    for v in &violations {
+        println!("{v}");
+    }
+    println!("repo_lint: {} violation(s)", violations.len());
+    ExitCode::FAILURE
+}

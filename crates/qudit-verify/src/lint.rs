@@ -1,0 +1,325 @@
+//! A structural linter over the circuit IR.
+//!
+//! [`lint_circuit`] walks a [`Circuit`] *before* compilation and reports
+//! author-facing diagnostics: suspicious parameterisation, wires that do
+//! nothing, operations on collapsed state, channels that sit uncomfortably
+//! close to their CPTP tolerance, and shapes the fusion pass can never help
+//! with. Lints are heuristics about intent — a lint-clean circuit is not
+//! thereby *verified* (that is [`crate::verify`]'s job), and a flagged
+//! circuit still compiles and runs.
+
+use std::fmt;
+
+use qudit_circuit::sim::FusionConfig;
+use qudit_circuit::{Circuit, Instruction};
+use qudit_core::matrix::CMatrix;
+
+/// Stable identifier of one lint rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum LintCode {
+    /// A parameter slot below `num_params` is referenced by no gate: a
+    /// binding must supply a value nothing consumes (usually an off-by-one
+    /// in parameter indices).
+    UnboundParam,
+    /// A wire is touched by no instruction (barriers excluded): the register
+    /// is larger than the circuit.
+    DeadWire,
+    /// A unitary or channel acts on a measured wire that was never reset:
+    /// it operates on collapsed state, which is rarely intended.
+    GateAfterMeasure,
+    /// A wire is re-measured with no intervening operation: the second
+    /// record always duplicates the first.
+    RedundantMeasure,
+    /// A channel's CPTP defect is within an order of magnitude of its
+    /// tolerance: numerical drift (or a sweep's summed allowance) can push
+    /// it over at run time.
+    CptpDefectNearTol,
+    /// A channel carries an identically-zero Kraus operator: a branch that
+    /// can never fire, usually a degenerate strength parameter.
+    ZeroKraus,
+    /// An instruction's own footprint already exceeds the fusion budget, so
+    /// no surrounding run can absorb it: a permanent fusion barrier.
+    FusionHotspot,
+}
+
+impl LintCode {
+    /// The code's stable kebab-case name (used in reports and docs).
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            LintCode::UnboundParam => "unbound-param",
+            LintCode::DeadWire => "dead-wire",
+            LintCode::GateAfterMeasure => "gate-after-measure",
+            LintCode::RedundantMeasure => "redundant-measure",
+            LintCode::CptpDefectNearTol => "cptp-defect-near-tol",
+            LintCode::ZeroKraus => "zero-kraus",
+            LintCode::FusionHotspot => "fusion-hotspot",
+        }
+    }
+}
+
+impl fmt::Display for LintCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// How seriously to take a diagnostic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Worth knowing; often deliberate.
+    Info,
+    /// Almost certainly a mistake, but the circuit still runs.
+    Warning,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+        })
+    }
+}
+
+/// One linter finding.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// The rule that fired.
+    pub code: LintCode,
+    /// How seriously to take it.
+    pub severity: Severity,
+    /// The instruction the finding anchors to (`None` for circuit-level
+    /// findings such as dead wires).
+    pub instruction: Option<usize>,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.instruction {
+            Some(i) => {
+                write!(f, "{}[{}] instruction {}: {}", self.severity, self.code, i, self.message)
+            }
+            None => write!(f, "{}[{}] {}", self.severity, self.code, self.message),
+        }
+    }
+}
+
+/// Linter thresholds.
+#[derive(Debug, Clone)]
+pub struct LintConfig {
+    /// The fusion budget used by the [`LintCode::FusionHotspot`] rule.
+    pub fusion: FusionConfig,
+    /// [`LintCode::CptpDefectNearTol`] fires when `defect * factor >=
+    /// tolerance`.
+    pub near_tol_factor: f64,
+}
+
+impl Default for LintConfig {
+    fn default() -> Self {
+        Self { fusion: FusionConfig::default(), near_tol_factor: 10.0 }
+    }
+}
+
+/// What has happened to a wire so far, for the collapse-tracking lints.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum WireState {
+    /// Untouched since creation (or since a reset).
+    Fresh,
+    /// Acted on by a gate or channel.
+    Live,
+    /// Measured, not operated on since.
+    Measured,
+}
+
+/// Lints `circuit` with default thresholds. See [`lint_circuit_with`].
+#[must_use]
+pub fn lint_circuit(circuit: &Circuit) -> Vec<Diagnostic> {
+    lint_circuit_with(circuit, &LintConfig::default())
+}
+
+/// Lints `circuit`, returning every finding in instruction order (circuit-
+/// level findings last). An empty vector means no rule fired.
+#[must_use]
+pub fn lint_circuit_with(circuit: &Circuit, config: &LintConfig) -> Vec<Diagnostic> {
+    let dims = circuit.dims();
+    let mut out = Vec::new();
+    let mut referenced_params = vec![false; circuit.num_params()];
+    let mut touched = vec![false; dims.len()];
+    let mut state = vec![WireState::Fresh; dims.len()];
+
+    for (i, inst) in circuit.instructions().iter().enumerate() {
+        match inst {
+            Instruction::Unitary { gate, targets } => {
+                if let Some(p) = gate.free_param() {
+                    if p < referenced_params.len() {
+                        referenced_params[p] = true;
+                    }
+                }
+                flag_collapsed(&mut out, &mut state, targets, i, "gate");
+                for &t in targets {
+                    touched[t] = true;
+                    state[t] = WireState::Live;
+                }
+                let sub: usize = targets.iter().map(|&t| dims[t]).product();
+                if config.fusion.enabled
+                    && (targets.len() > config.fusion.max_qudits || sub > config.fusion.max_dim)
+                {
+                    out.push(Diagnostic {
+                        code: LintCode::FusionHotspot,
+                        severity: Severity::Info,
+                        instruction: Some(i),
+                        message: format!(
+                            "gate '{}' spans {} qudits (dim {sub}), beyond the fusion budget \
+                             ({} qudits / dim {}); adjacent gates cannot fuse across it",
+                            gate.name(),
+                            targets.len(),
+                            config.fusion.max_qudits,
+                            config.fusion.max_dim
+                        ),
+                    });
+                }
+            }
+            Instruction::Channel { channel, targets } => {
+                flag_collapsed(&mut out, &mut state, targets, i, "channel");
+                for &t in targets {
+                    touched[t] = true;
+                    state[t] = WireState::Live;
+                }
+                lint_channel(&mut out, channel, i, config);
+            }
+            Instruction::Measure { targets } => {
+                for &t in targets {
+                    touched[t] = true;
+                    if state[t] == WireState::Measured {
+                        out.push(Diagnostic {
+                            code: LintCode::RedundantMeasure,
+                            severity: Severity::Warning,
+                            instruction: Some(i),
+                            message: format!(
+                                "wire {t} is re-measured with no intervening operation; the \
+                                 record duplicates the previous measurement"
+                            ),
+                        });
+                    }
+                    state[t] = WireState::Measured;
+                }
+            }
+            Instruction::Reset { target } => {
+                touched[*target] = true;
+                state[*target] = WireState::Fresh;
+            }
+            Instruction::Barrier => {}
+        }
+    }
+
+    for (p, seen) in referenced_params.iter().enumerate() {
+        if !seen {
+            out.push(Diagnostic {
+                code: LintCode::UnboundParam,
+                severity: Severity::Warning,
+                instruction: None,
+                message: format!(
+                    "parameter slot {p} is below the circuit's parameter count ({}) but no gate \
+                     references it; bindings must supply a value nothing consumes",
+                    circuit.num_params()
+                ),
+            });
+        }
+    }
+    for (w, seen) in touched.iter().enumerate() {
+        if !seen {
+            out.push(Diagnostic {
+                code: LintCode::DeadWire,
+                severity: Severity::Warning,
+                instruction: None,
+                message: format!("wire {w} (dimension {}) is touched by no instruction", dims[w]),
+            });
+        }
+    }
+    out
+}
+
+fn flag_collapsed(
+    out: &mut Vec<Diagnostic>,
+    state: &mut [WireState],
+    targets: &[usize],
+    index: usize,
+    what: &str,
+) {
+    for &t in targets {
+        if state[t] == WireState::Measured {
+            out.push(Diagnostic {
+                code: LintCode::GateAfterMeasure,
+                severity: Severity::Warning,
+                instruction: Some(index),
+                message: format!(
+                    "{what} acts on wire {t}, which was measured and never reset; it operates \
+                     on collapsed state"
+                ),
+            });
+        }
+    }
+}
+
+fn lint_channel(
+    out: &mut Vec<Diagnostic>,
+    channel: &qudit_circuit::KrausChannel,
+    index: usize,
+    config: &LintConfig,
+) {
+    for (k, op) in channel.operators().iter().enumerate() {
+        if op.max_abs() == 0.0 {
+            out.push(Diagnostic {
+                code: LintCode::ZeroKraus,
+                severity: Severity::Warning,
+                instruction: Some(index),
+                message: format!(
+                    "channel '{}' Kraus operator {k} is identically zero; the branch can \
+                     never fire",
+                    channel.name()
+                ),
+            });
+        }
+    }
+    let defect = cptp_defect(channel.operators());
+    if defect > 0.0 && defect * config.near_tol_factor >= channel.tolerance() {
+        out.push(Diagnostic {
+            code: LintCode::CptpDefectNearTol,
+            severity: Severity::Warning,
+            instruction: Some(index),
+            message: format!(
+                "channel '{}' CPTP defect {defect:.3e} is within {}× of its tolerance \
+                 {:.3e}; numerical drift can push it over at run time",
+                channel.name(),
+                config.near_tol_factor,
+                channel.tolerance()
+            ),
+        });
+    }
+}
+
+/// `max |Σ K†K − I|`, the channel's distance from trace preservation.
+fn cptp_defect(ops: &[CMatrix]) -> f64 {
+    let d = ops[0].cols();
+    let mut sum = CMatrix::zeros(d, d);
+    for op in ops {
+        let term = op.dagger().matmul(op).expect("K†K is square");
+        for r in 0..d {
+            for c in 0..d {
+                sum.set(r, c, sum.get(r, c) + term.get(r, c));
+            }
+        }
+    }
+    let mut defect = 0.0f64;
+    for r in 0..d {
+        for c in 0..d {
+            let expect = if r == c { 1.0 } else { 0.0 };
+            defect = defect.max((sum.get(r, c) - qudit_core::complex::c64(expect, 0.0)).abs());
+        }
+    }
+    defect
+}

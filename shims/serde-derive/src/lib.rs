@@ -3,6 +3,8 @@
 //! these keep the seed sources' derive attributes compiling without the
 //! real `serde` crate.
 
+#![forbid(unsafe_code)]
+
 use proc_macro::TokenStream;
 
 /// Expands to nothing; accepts (and ignores) `#[serde(...)]` attributes.
