@@ -50,10 +50,25 @@ pub fn grid_search(
     points: usize,
     mut f: impl FnMut(&[f64]) -> f64,
 ) -> (Vec<f64>, f64) {
-    assert!(points >= 2 && dims >= 1, "grid search needs at least 2 points and 1 dimension");
-    let total = points.pow(dims as u32);
     let mut best_x = vec![lo; dims];
     let mut best_val = f64::NEG_INFINITY;
+    for x in grid_points(dims, lo, hi, points) {
+        let value = f(&x);
+        if value > best_val {
+            best_val = value;
+            best_x = x;
+        }
+    }
+    (best_x, best_val)
+}
+
+/// The grid [`grid_search`] walks, in its exact evaluation order — for
+/// callers that want to evaluate the whole grid as one *population* (e.g. a
+/// batched ensemble pass) and take the argmax themselves.
+pub fn grid_points(dims: usize, lo: f64, hi: f64, points: usize) -> Vec<Vec<f64>> {
+    assert!(points >= 2 && dims >= 1, "grid search needs at least 2 points and 1 dimension");
+    let total = points.pow(dims as u32);
+    let mut grid = Vec::with_capacity(total);
     for code in 0..total {
         let mut c = code;
         let mut x = Vec::with_capacity(dims);
@@ -62,13 +77,9 @@ pub fn grid_search(
             c /= points;
             x.push(lo + (hi - lo) * idx as f64 / (points - 1) as f64);
         }
-        let value = f(&x);
-        if value > best_val {
-            best_val = value;
-            best_x = x;
-        }
+        grid.push(x);
     }
-    (best_x, best_val)
+    grid
 }
 
 #[cfg(test)]

@@ -19,7 +19,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::error::{QoptError, Result};
 use crate::graph::ColoringProblem;
-use crate::optimizer::{coordinate_ascent, grid_search};
+use crate::optimizer::{coordinate_ascent, grid_points};
 
 /// Mixer variant for the colour degree of freedom.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -110,6 +110,34 @@ impl QaoaEvaluator {
             QaoaBackend::Trajectory { sim, plan } => {
                 sim.outcome_distribution_bound(plan, params).map_err(QoptError::Circuit)
             }
+        }
+    }
+
+    /// Outcome distributions for a whole **population** of parameter bindings.
+    ///
+    /// Statevector backend: the population is realised with
+    /// `CompiledCircuit::bind_batch` and executed as one ensemble pass —
+    /// every execution step is decoded once and applied to all members as a
+    /// panel, which is where the optimiser's grid/population evaluations get
+    /// their batching win. Trajectory backend: each member runs through the
+    /// chunked batched-trajectory path. Both produce results bitwise
+    /// identical to calling [`QaoaEvaluator::distribution`] per member.
+    fn distributions(&mut self, population: &[Vec<f64>]) -> Result<Vec<Vec<f64>>> {
+        match &mut self.backend {
+            QaoaBackend::Statevector { sim, plan } => {
+                let batch = plan.bind_batch(population).map_err(QoptError::Circuit)?;
+                let outputs = sim.run_ensemble(plan, &batch).map_err(QoptError::Circuit)?;
+                outputs
+                    .into_iter()
+                    .map(|col| Ok(col.map_err(QoptError::Circuit)?.state.probabilities()))
+                    .collect()
+            }
+            QaoaBackend::Trajectory { sim, plan } => population
+                .iter()
+                .map(|params| {
+                    sim.outcome_distribution_bound_batched(plan, params).map_err(QoptError::Circuit)
+                })
+                .collect(),
         }
     }
 }
@@ -308,6 +336,25 @@ impl QuditQaoa {
         Ok(self.distribution_value(eval.dims(), &distribution))
     }
 
+    /// Expected objective for a whole population of `(γ, β)` schedules in
+    /// one batched evaluation (see [`QaoaEvaluator`]'s ensemble path). The
+    /// returned values are bitwise identical to calling
+    /// [`QuditQaoa::expected_value_bound`] on each schedule in order.
+    ///
+    /// # Errors
+    /// Returns an error if an angle list does not match the layer count or
+    /// simulation fails.
+    pub fn expected_values_population(
+        &self,
+        eval: &mut QaoaEvaluator,
+        schedules: &[(Vec<f64>, Vec<f64>)],
+    ) -> Result<Vec<f64>> {
+        let population: Vec<Vec<f64>> =
+            schedules.iter().map(|(g, b)| self.pack_angles(g, b)).collect::<Result<_>>()?;
+        let distributions = eval.distributions(&population)?;
+        Ok(distributions.iter().map(|d| self.distribution_value(eval.dims(), d)).collect())
+    }
+
     /// Expected number of properly coloured edges of the circuit output.
     ///
     /// Noiseless: exact from the state vector. Noisy: averaged over quantum
@@ -348,11 +395,23 @@ impl QuditQaoa {
         // evaluation below rebinds it in place instead of rebuilding and
         // recompiling the circuit.
         let mut eval = self.evaluator(noise)?;
-        // Initial angles.
+        // Initial angles. For p = 1 the whole 5×5 grid is evaluated as a
+        // single population (one ensemble pass on the statevector backend)
+        // and the argmax taken in `grid_search`'s exact iteration order, so
+        // the chosen point matches the serial grid search bitwise.
         let initial: Vec<f64> = if p == 1 {
-            let (best, _) = grid_search(2, 0.1, 1.2, 5, |x| {
-                self.expected_value_bound(&mut eval, &[x[0]], &[x[1]]).unwrap_or(0.0)
-            });
+            let grid = grid_points(2, 0.1, 1.2, 5);
+            let schedules: Vec<(Vec<f64>, Vec<f64>)> =
+                grid.iter().map(|x| (vec![x[0]], vec![x[1]])).collect();
+            let values = self.expected_values_population(&mut eval, &schedules)?;
+            let mut best = grid[0].clone();
+            let mut best_val = f64::NEG_INFINITY;
+            for (x, &value) in grid.iter().zip(values.iter()) {
+                if value > best_val {
+                    best_val = value;
+                    best = x.clone();
+                }
+            }
             best
         } else {
             (0..2 * p).map(|i| 0.3 + 0.1 * i as f64).collect()
@@ -509,6 +568,45 @@ mod tests {
         let swept = qaoa.expected_value_bound(&mut noisy_eval, &[0.4, 0.2], &[0.3, 0.1]).unwrap();
         let rebuilt = qaoa.expected_value(&[0.4, 0.2], &[0.3, 0.1], &noise).unwrap();
         assert!((swept - rebuilt).abs() < 1e-12, "{swept} vs {rebuilt}");
+    }
+
+    #[test]
+    fn population_evaluation_is_bitwise_identical_to_serial() {
+        let qaoa =
+            QuditQaoa::new(triangle_problem(), QaoaConfig { layers: 1, ..Default::default() });
+        let schedules: Vec<(Vec<f64>, Vec<f64>)> =
+            grid_points(2, 0.1, 1.2, 5).into_iter().map(|x| (vec![x[0]], vec![x[1]])).collect();
+        // Noiseless backend: one ensemble pass over the whole grid.
+        let mut eval = qaoa.evaluator(&NoiseModel::noiseless()).unwrap();
+        let batched = qaoa.expected_values_population(&mut eval, &schedules).unwrap();
+        let mut serial_eval = qaoa.evaluator(&NoiseModel::noiseless()).unwrap();
+        for ((g, b), &value) in schedules.iter().zip(batched.iter()) {
+            let reference = qaoa.expected_value_bound(&mut serial_eval, g, b).unwrap();
+            assert_eq!(value.to_bits(), reference.to_bits(), "{value} vs {reference}");
+        }
+        // The population argmax (in enumeration order) reproduces the serial
+        // grid search's chosen point exactly.
+        let (serial_best, _) = crate::optimizer::grid_search(2, 0.1, 1.2, 5, |x| {
+            qaoa.expected_value_bound(&mut serial_eval, &[x[0]], &[x[1]]).unwrap_or(0.0)
+        });
+        let best_idx = batched
+            .iter()
+            .enumerate()
+            .fold((0, f64::NEG_INFINITY), |acc, (i, &v)| if v > acc.1 { (i, v) } else { acc })
+            .0;
+        let (bg, bb) = &schedules[best_idx];
+        assert_eq!(serial_best, vec![bg[0], bb[0]]);
+        // Noisy (trajectory) backend goes through the batched trajectory
+        // fold, which is itself bitwise-identical to the serial fold.
+        let noise = NoiseModel::depolarizing(0.03, 0.03);
+        let mut noisy_eval = qaoa.evaluator(&noise).unwrap();
+        let pair = [schedules[3].clone(), schedules[17].clone()];
+        let noisy_batched = qaoa.expected_values_population(&mut noisy_eval, &pair).unwrap();
+        let mut noisy_serial = qaoa.evaluator(&noise).unwrap();
+        for ((g, b), &value) in pair.iter().zip(noisy_batched.iter()) {
+            let reference = qaoa.expected_value_bound(&mut noisy_serial, g, b).unwrap();
+            assert_eq!(value.to_bits(), reference.to_bits(), "{value} vs {reference}");
+        }
     }
 
     #[test]

@@ -30,11 +30,13 @@ pub mod fusion;
 pub mod introspect;
 
 mod density;
+mod ensemble;
 mod kernels;
 mod statevector;
 mod trajectory;
 
 pub use density::{CompiledDensityCircuit, DensityMatrixSimulator};
+pub use ensemble::BatchBindings;
 pub use fusion::{FlushPolicy, FusionConfig, FusionStats};
 pub use kernels::{SuperopConfig, SuperopStats};
 pub use statevector::{CompiledCircuit, RunOutput, StatevectorSimulator};

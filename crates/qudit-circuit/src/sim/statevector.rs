@@ -14,6 +14,7 @@ use crate::circuit::{Circuit, Instruction};
 use crate::error::{CircuitError, Result};
 use crate::noise::NoiseModel;
 use crate::observable::Observable;
+use crate::sim::ensemble::{run_ensemble_prepared, BatchBindings, EnsembleConfig};
 use crate::sim::fusion::{FusionConfig, FusionStats};
 use crate::sim::kernels::{BindBuffers, CircuitKernels, ExecStep, RunScratch};
 use crate::sim::{apply_channel_prepared, apply_readout_flip};
@@ -149,6 +150,27 @@ impl CompiledCircuit {
     /// [`CompiledCircuit::num_params`] values.
     pub fn bind(&mut self, params: &[f64]) -> Result<()> {
         self.topology.bind_into(params, &mut self.binds)
+    }
+
+    /// Realises a whole *population* of bindings against this plan's shared
+    /// topology — one overlay per ensemble column — for batched execution via
+    /// [`StatevectorSimulator::run_ensemble`]. Each overlay is produced by the
+    /// same re-materialisation as [`CompiledCircuit::bind`], so column `b` of
+    /// the ensemble runs the bitwise-identical plan `bind(population[b])`
+    /// would have produced.
+    ///
+    /// Materialisations are shared across members that agree (bitwise) on
+    /// the parameters a step actually reads, so structured populations — a
+    /// coordinate grid, a sweep along one axis — pay for the distinct values
+    /// per step rather than the population size. Sharing is exact (the
+    /// realization is a pure function of those parameters), so the bitwise
+    /// contract with the serial bind loop is unaffected.
+    ///
+    /// # Errors
+    /// Returns an error if any member supplies fewer than
+    /// [`CompiledCircuit::num_params`] values.
+    pub fn bind_batch(&self, population: &[Vec<f64>]) -> Result<BatchBindings> {
+        Ok(BatchBindings { cols: self.topology.bind_batch_into(population)? })
     }
 }
 
@@ -348,6 +370,79 @@ impl StatevectorSimulator {
         self.check_noise(compiled)?;
         compiled.bind(params)?;
         self.run_compiled_from(compiled, initial)
+    }
+
+    /// Runs a population of bindings through one compiled plan as a single
+    /// batched ensemble pass from `|0...0⟩` (see
+    /// [`CompiledCircuit::bind_batch`]): the plan is traversed **once**,
+    /// binding-invariant steps apply to all columns as matrix–panel products,
+    /// and parameter-dependent steps resolve per column. Column `b`'s output
+    /// is bitwise identical to `run_bound` on binding `b` — same state, same
+    /// measurement records, same health report.
+    ///
+    /// Returns one `Result<RunOutput>` per column. Column-local failures
+    /// (guard trips, zero-mass measurements) fail only their column;
+    /// structural errors and cancellation fail the whole call.
+    ///
+    /// # Errors
+    /// Returns an error for a noise-model mismatch or cancellation.
+    pub fn run_ensemble(
+        &self,
+        compiled: &CompiledCircuit,
+        batch: &BatchBindings,
+    ) -> Result<Vec<Result<RunOutput>>> {
+        let initial =
+            QuditState::zero(compiled.topology.dims.clone()).map_err(CircuitError::Core)?;
+        self.run_ensemble_from(compiled, batch, &initial)
+    }
+
+    /// [`StatevectorSimulator::run_ensemble`] from an arbitrary shared
+    /// initial state. Every column starts from `initial` and uses the
+    /// simulator's seed, exactly as the serial `run_bound_from` loop would.
+    ///
+    /// # Errors
+    /// Returns an error for a register or noise-model mismatch, or
+    /// cancellation.
+    pub fn run_ensemble_from(
+        &self,
+        compiled: &CompiledCircuit,
+        batch: &BatchBindings,
+        initial: &QuditState,
+    ) -> Result<Vec<Result<RunOutput>>> {
+        let seeds = vec![self.seed; batch.len()];
+        self.run_ensemble_seeded(compiled, batch, initial, &seeds)
+    }
+
+    /// [`StatevectorSimulator::run_ensemble_from`] with an explicit RNG seed
+    /// per column, for callers whose population members are independent jobs
+    /// with their own stochastic streams (the serving layer's coalesced
+    /// batches).
+    ///
+    /// # Errors
+    /// Returns an error for a register, noise-model, or seed-count mismatch,
+    /// or cancellation.
+    pub fn run_ensemble_seeded(
+        &self,
+        compiled: &CompiledCircuit,
+        batch: &BatchBindings,
+        initial: &QuditState,
+        seeds: &[u64],
+    ) -> Result<Vec<Result<RunOutput>>> {
+        self.check_noise(compiled)?;
+        if seeds.len() != batch.len() {
+            return Err(CircuitError::InvalidTargets(format!(
+                "seed count {} does not match batch width {}",
+                seeds.len(),
+                batch.len()
+            )));
+        }
+        let cfg = EnsembleConfig {
+            guard: self.guard,
+            cancel: self.cancel.as_ref(),
+            readout_flip: self.noise.readout_flip,
+            threads: self.threads,
+        };
+        run_ensemble_prepared(&cfg, &compiled.topology, &batch.cols, initial, seeds)
     }
 
     /// Runs the circuit from `|0...0⟩` and returns the final state
@@ -599,7 +694,7 @@ impl StatevectorSimulator {
 /// `X^k` for the generalised shift, used to un-compute reset outcomes.
 /// `X^k` maps `|c⟩ → |c + k mod d⟩`, so it is constructed directly as the
 /// index permutation rather than by `k` repeated O(d³) matrix products.
-fn power_of_shift(d: usize, k: usize) -> qudit_core::matrix::CMatrix {
+pub(crate) fn power_of_shift(d: usize, k: usize) -> qudit_core::matrix::CMatrix {
     let mut m = qudit_core::matrix::CMatrix::zeros(d, d);
     for c in 0..d {
         m[((c + k) % d, c)] = qudit_core::complex::Complex64::ONE;

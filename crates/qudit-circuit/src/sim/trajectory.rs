@@ -32,9 +32,16 @@ use crate::circuit::Circuit;
 use crate::error::{CircuitError, Result};
 use crate::noise::NoiseModel;
 use crate::observable::Observable;
+use crate::sim::ensemble::{run_trajectory_chunk, EnsembleConfig};
 use crate::sim::fusion::FusionConfig;
 use crate::sim::kernels::{BindBuffers, CircuitKernels};
 use crate::sim::statevector::{CompiledCircuit, StatevectorSimulator};
+
+/// Trajectories per batched-ensemble chunk. Bounds the panel width (memory
+/// is `dim × width` amplitudes) while leaving enough members per chunk for
+/// branch-prefix grouping to amortise plan traversal and branch-probability
+/// work.
+const ENSEMBLE_CHUNK: usize = 64;
 
 /// A Monte-Carlo trajectory simulator.
 ///
@@ -384,6 +391,190 @@ impl TrajectorySimulator {
             |_, state| Ok(state.probabilities()),
             &mut acc,
             |acc, probs| {
+                for (a, p) in acc.iter_mut().zip(probs.iter()) {
+                    *a += p;
+                }
+            },
+        )?;
+        for p in &mut acc {
+            *p /= self.n_trajectories as f64;
+        }
+        Ok(acc)
+    }
+
+    /// Runs the trajectory ensemble as *batched* chunks (see
+    /// [`crate::sim::ensemble`]): each chunk of up to [`ENSEMBLE_CHUNK`]
+    /// trajectories evolves as one lazily splitting panel, grouped by
+    /// Kraus-branch prefix, and `group_f` maps each final group state once.
+    /// `fold(t, value)` is then called per trajectory in ascending order —
+    /// the exact fold order of the serial loop — so any consumer that is a
+    /// pure function of the per-trajectory final states gets bitwise-
+    /// identical results.
+    fn fold_trajectory_groups<T>(
+        &self,
+        kernels: &CircuitKernels,
+        binds: &BindBuffers,
+        group_f: impl Fn(&QuditState) -> Result<T>,
+        mut fold: impl FnMut(usize, &T),
+    ) -> Result<RunHealth> {
+        let initial = QuditState::zero(kernels.dims.clone()).map_err(CircuitError::Core)?;
+        let cfg = EnsembleConfig {
+            guard: self.guard,
+            cancel: self.cancel.as_ref(),
+            readout_flip: self.noise.readout_flip,
+            // Chunks already fan out at the chunk level; column spans inside
+            // a chunk stay serial.
+            threads: 1,
+        };
+        let mut health = RunHealth::default();
+        let mut start = 0;
+        while start < self.n_trajectories {
+            if let Some(token) = &self.cancel {
+                token.check(start).map_err(CircuitError::Core)?;
+            }
+            let len = ENSEMBLE_CHUNK.min(self.n_trajectories - start);
+            let members: Vec<(usize, u64)> =
+                (start..start + len).map(|t| (t, self.traj_seed(t))).collect();
+            let groups = run_trajectory_chunk(&cfg, kernels, binds, &initial, &members)?;
+            // One value per branch-prefix group; trajectories then fold in
+            // ascending order through the group they belong to.
+            let mut group_of: Vec<usize> = vec![0; len];
+            let mut values = Vec::with_capacity(groups.len());
+            for (g_idx, group) in groups.iter().enumerate() {
+                values.push(group_f(&group.state)?);
+                health.merge(&group.health.scaled_by(group.members.len()));
+                for &t in &group.members {
+                    group_of[t - start] = g_idx;
+                }
+            }
+            for (i, &g_idx) in group_of.iter().enumerate() {
+                fold(start + i, &values[g_idx]);
+            }
+            start += len;
+        }
+        Ok(health)
+    }
+
+    /// [`TrajectorySimulator::expectation`] through the batched-ensemble
+    /// executor: trajectories evolve as lazily splitting panels instead of
+    /// one state vector at a time, with branch probabilities computed once
+    /// per branch-prefix group. The estimate is **bitwise identical** to
+    /// [`TrajectorySimulator::expectation`] at any chunk width, because every
+    /// panel column replays exactly one serial trajectory's arithmetic and
+    /// RNG stream, and values fold in trajectory order.
+    ///
+    /// # Errors
+    /// Returns an error for invalid instructions, observable mismatches, a
+    /// guard trip in any trajectory, or cancellation.
+    pub fn expectation_batched(
+        &self,
+        circuit: &Circuit,
+        observable: &Observable,
+    ) -> Result<TrajectoryEstimate> {
+        let kernels = CircuitKernels::with_config(circuit, &self.noise, &self.fusion)?;
+        self.expectation_batched_prepared(&kernels, &BindBuffers::default(), observable)
+    }
+
+    /// [`TrajectorySimulator::expectation_batched`] through a precompiled
+    /// plan.
+    ///
+    /// # Errors
+    /// Returns an error for an observable/dimension mismatch or a noise
+    /// model mismatch.
+    pub fn expectation_compiled_batched(
+        &self,
+        compiled: &CompiledCircuit,
+        observable: &Observable,
+    ) -> Result<TrajectoryEstimate> {
+        self.check_compiled(compiled)?;
+        self.expectation_batched_prepared(&compiled.topology, &compiled.binds, observable)
+    }
+
+    /// Rebinds a compiled plan to `params` and estimates the observable via
+    /// the batched-ensemble executor.
+    ///
+    /// # Errors
+    /// Returns an error for a short binding or a noise model mismatch.
+    pub fn expectation_bound_batched(
+        &self,
+        compiled: &mut CompiledCircuit,
+        params: &[f64],
+        observable: &Observable,
+    ) -> Result<TrajectoryEstimate> {
+        // Validate before binding so a failed call leaves the plan untouched.
+        self.check_compiled(compiled)?;
+        compiled.bind(params)?;
+        self.expectation_compiled_batched(compiled, observable)
+    }
+
+    fn expectation_batched_prepared(
+        &self,
+        kernels: &CircuitKernels,
+        binds: &BindBuffers,
+        observable: &Observable,
+    ) -> Result<TrajectoryEstimate> {
+        let mut values = Vec::with_capacity(self.n_trajectories);
+        self.fold_trajectory_groups(
+            kernels,
+            binds,
+            |state| observable.expectation(state),
+            |_, &v| values.push(v),
+        )?;
+        Ok(estimate(&values))
+    }
+
+    /// [`TrajectorySimulator::outcome_distribution`] through the batched-
+    /// ensemble executor; bitwise identical to the serial path.
+    ///
+    /// # Errors
+    /// Returns an error for invalid instructions, a guard trip, or
+    /// cancellation.
+    pub fn outcome_distribution_batched(&self, circuit: &Circuit) -> Result<Vec<f64>> {
+        let kernels = CircuitKernels::with_config(circuit, &self.noise, &self.fusion)?;
+        self.outcome_distribution_batched_prepared(&kernels, &BindBuffers::default())
+    }
+
+    /// [`TrajectorySimulator::outcome_distribution_compiled`] through the
+    /// batched-ensemble executor.
+    ///
+    /// # Errors
+    /// Returns an error for invalid dimensions or a noise model mismatch.
+    pub fn outcome_distribution_compiled_batched(
+        &self,
+        compiled: &CompiledCircuit,
+    ) -> Result<Vec<f64>> {
+        self.check_compiled(compiled)?;
+        self.outcome_distribution_batched_prepared(&compiled.topology, &compiled.binds)
+    }
+
+    /// Rebinds a compiled plan to `params` and returns the trajectory-
+    /// averaged outcome distribution via the batched-ensemble executor.
+    ///
+    /// # Errors
+    /// Returns an error for a short binding or a noise model mismatch.
+    pub fn outcome_distribution_bound_batched(
+        &self,
+        compiled: &mut CompiledCircuit,
+        params: &[f64],
+    ) -> Result<Vec<f64>> {
+        // Validate before binding so a failed call leaves the plan untouched.
+        self.check_compiled(compiled)?;
+        compiled.bind(params)?;
+        self.outcome_distribution_compiled_batched(compiled)
+    }
+
+    fn outcome_distribution_batched_prepared(
+        &self,
+        kernels: &CircuitKernels,
+        binds: &BindBuffers,
+    ) -> Result<Vec<f64>> {
+        let total_dim: usize = kernels.dims.iter().product();
+        let mut acc = vec![0.0; total_dim];
+        self.fold_trajectory_groups(
+            kernels,
+            binds,
+            |state| Ok(state.probabilities()),
+            |_, probs| {
                 for (a, p) in acc.iter_mut().zip(probs.iter()) {
                     *a += p;
                 }

@@ -1,0 +1,389 @@
+//! Property tests for batched ensemble execution (`qudit_circuit::sim`
+//! ensemble executors): a population of bindings run as one panel pass must
+//! be **bitwise identical**, column for column, to the serial `run_bound`
+//! loop — states, measurement records, and guard health reports alike — and
+//! batched trajectories (lazily splitting branch-prefix panels) must
+//! reproduce the serial trajectory fold bitwise, mid-circuit measurement
+//! splits, guard checkpoints, readout flips and all. Density-backed
+//! consumers pin the same populations at 1e-12. Cancellation mid-batch
+//! fails the whole ensemble pass with the standard `Cancelled` error.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use qudit_circuit::error::CircuitError;
+use qudit_circuit::noise::{KrausChannel, NoiseModel};
+use qudit_circuit::sim::{
+    CancelToken, DensityMatrixSimulator, FusionConfig, GuardConfig, GuardPolicy,
+    StatevectorSimulator, TrajectorySimulator,
+};
+use qudit_circuit::{Circuit, Gate, Observable, Param};
+use qudit_core::error::CoreError;
+use qudit_core::matrix::CMatrix;
+use qudit_core::Complex64;
+
+const TOL: f64 = 1e-12;
+
+fn random_hermitian(rng: &mut StdRng, d: usize) -> CMatrix {
+    let a = CMatrix::from_fn(d, d, |_, _| {
+        Complex64::new(rng.gen::<f64>() - 0.5, rng.gen::<f64>() - 0.5)
+    });
+    a.hermitian_part()
+}
+
+fn push_random_param_gate(c: &mut Circuit, dims: &[usize], idx: usize, rng: &mut StdRng) {
+    let n = dims.len();
+    let q = rng.gen_range(0..n);
+    let d = dims[q];
+    match rng.gen_range(0..3) {
+        0 => {
+            let weights: Vec<f64> = (0..d).map(|_| rng.gen::<f64>() * 2.0 - 1.0).collect();
+            let g = Gate::parameterized(
+                format!("sep{idx}"),
+                vec![d],
+                &CMatrix::diag_real(&weights),
+                Param::Free(idx),
+            )
+            .unwrap();
+            c.push(g, &[q]).unwrap();
+        }
+        1 => {
+            let h = random_hermitian(rng, d);
+            let g =
+                Gate::parameterized(format!("mix{idx}"), vec![d], &h, Param::Free(idx)).unwrap();
+            c.push(g, &[q]).unwrap();
+        }
+        _ if n >= 2 => {
+            let a = rng.gen_range(0..n);
+            let mut b = rng.gen_range(0..n - 1);
+            if b >= a {
+                b += 1;
+            }
+            let dd = dims[a] * dims[b];
+            let weights: Vec<f64> = (0..dd).map(|_| rng.gen::<f64>()).collect();
+            let g = Gate::parameterized(
+                format!("zz{idx}"),
+                vec![dims[a], dims[b]],
+                &CMatrix::diag_real(&weights),
+                Param::Free(idx),
+            )
+            .unwrap();
+            c.push(g, &[a, b]).unwrap();
+        }
+        _ => {
+            let h = random_hermitian(rng, d);
+            let g =
+                Gate::parameterized(format!("mix{idx}"), vec![d], &h, Param::Free(idx)).unwrap();
+            c.push(g, &[q]).unwrap();
+        }
+    }
+}
+
+fn push_random_const_gate(c: &mut Circuit, dims: &[usize], rng: &mut StdRng) {
+    let n = dims.len();
+    if n >= 2 && rng.gen::<f64>() < 0.35 {
+        let a = rng.gen_range(0..n);
+        let mut b = rng.gen_range(0..n - 1);
+        if b >= a {
+            b += 1;
+        }
+        c.push(Gate::csum(dims[a], dims[b]), &[a, b]).unwrap();
+    } else {
+        let q = rng.gen_range(0..n);
+        match rng.gen_range(0..3) {
+            0 => c.push(Gate::fourier(dims[q]), &[q]).unwrap(),
+            1 => c.push(Gate::shift_x(dims[q]), &[q]).unwrap(),
+            _ => c.push(Gate::clock_z(dims[q]), &[q]).unwrap(),
+        }
+    }
+}
+
+/// A randomized parameterized circuit with `num_params` free angles; with
+/// `stochastic` it mixes in mid-circuit measurements, resets and explicit
+/// Kraus channels, the ingredients that force branch handling in the
+/// ensemble executors.
+fn random_param_circuit(
+    rng: &mut StdRng,
+    num_params: usize,
+    stochastic: bool,
+) -> (Circuit, Vec<usize>) {
+    let n = rng.gen_range(2..=3);
+    let dims: Vec<usize> = (0..n).map(|_| rng.gen_range(2..=3)).collect();
+    let mut c = Circuit::new(dims.clone());
+    let len = rng.gen_range(10..=16);
+    let mut used = Vec::new();
+    for step in 0..len {
+        let roll = rng.gen::<f64>();
+        if roll < 0.35 {
+            let idx = step % num_params;
+            used.push(idx);
+            push_random_param_gate(&mut c, &dims, idx, rng);
+        } else if roll < 0.75 || !stochastic {
+            push_random_const_gate(&mut c, &dims, rng);
+        } else if roll < 0.85 {
+            let q = rng.gen_range(0..n);
+            c.measure(&[q]).unwrap();
+        } else if roll < 0.92 {
+            let q = rng.gen_range(0..n);
+            c.reset(q).unwrap();
+        } else {
+            let q = rng.gen_range(0..n);
+            let ch = if rng.gen::<bool>() {
+                KrausChannel::photon_loss(dims[q], 0.2).unwrap()
+            } else {
+                KrausChannel::depolarizing(dims[q], 0.15).unwrap()
+            };
+            c.push_channel(ch, &[q]).unwrap();
+        }
+    }
+    for idx in 0..num_params {
+        if !used.contains(&idx) {
+            push_random_param_gate(&mut c, &dims, idx, rng);
+        }
+    }
+    (c, dims)
+}
+
+fn random_population(rng: &mut StdRng, num_params: usize, size: usize) -> Vec<Vec<f64>> {
+    (0..size).map(|_| (0..num_params).map(|_| rng.gen::<f64>() * 3.0 - 1.5).collect()).collect()
+}
+
+// ---------------------------------------------------------------------------
+// Parameter-batched statevector runs.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn ensemble_population_is_bitwise_identical_to_serial_run_bound() {
+    // Stochastic circuits (measurements, resets, Kraus channels) under a
+    // gate-level noise model with readout error and an enabled guard: the
+    // full RunOutput — state, measurement records, health report — must be
+    // bitwise identical per column.
+    for trial in 0..12 {
+        let mut rng = StdRng::seed_from_u64(91_000 + trial);
+        let num_params = 3;
+        let (c, _) = random_param_circuit(&mut rng, num_params, true);
+        let noise = NoiseModel::depolarizing(0.02, 0.04).with_readout_flip(0.05);
+        let guard =
+            GuardConfig::enabled().with_cadence(3).with_policy(GuardPolicy::RenormalizeAndCount);
+        let sim = StatevectorSimulator::with_seed(400 + trial).with_noise(noise).with_guard(guard);
+        let plan = sim.compile(&c).unwrap();
+        let population = random_population(&mut rng, num_params, 5);
+        let batch = plan.bind_batch(&population).unwrap();
+        assert_eq!(batch.len(), population.len());
+
+        let ensemble = sim.run_ensemble(&plan, &batch).unwrap();
+        assert_eq!(ensemble.len(), population.len());
+        for (b, params) in population.iter().enumerate() {
+            let mut serial_plan = plan.clone();
+            let serial = sim.run_bound(&mut serial_plan, params).unwrap();
+            let col = ensemble[b].as_ref().unwrap_or_else(|e| {
+                panic!("trial {trial}, column {b}: ensemble run failed: {e:?}")
+            });
+            assert_eq!(
+                col.state.amplitudes(),
+                serial.state.amplitudes(),
+                "trial {trial}, column {b}: states must be bitwise identical"
+            );
+            assert_eq!(col.measurements, serial.measurements, "trial {trial}, column {b}");
+            assert_eq!(col.health, serial.health, "trial {trial}, column {b}");
+        }
+    }
+}
+
+#[test]
+fn ensemble_width_one_and_duplicate_bindings_behave() {
+    let mut rng = StdRng::seed_from_u64(555);
+    let (c, _) = random_param_circuit(&mut rng, 2, true);
+    let sim = StatevectorSimulator::with_seed(8).with_noise(NoiseModel::depolarizing(0.03, 0.03));
+    let plan = sim.compile(&c).unwrap();
+    let theta: Vec<f64> = vec![0.4, -0.9];
+    // Duplicate bindings share the simulator seed, so every column replays
+    // the identical serial run.
+    let batch = plan.bind_batch(&[theta.clone(), theta.clone(), theta.clone()]).unwrap();
+    let ensemble = sim.run_ensemble(&plan, &batch).unwrap();
+    let mut serial_plan = plan.clone();
+    let serial = sim.run_bound(&mut serial_plan, &theta).unwrap();
+    for (b, col) in ensemble.iter().enumerate() {
+        let col = col.as_ref().unwrap();
+        assert_eq!(col.state.amplitudes(), serial.state.amplitudes(), "column {b}");
+        assert_eq!(col.measurements, serial.measurements, "column {b}");
+    }
+    // Empty populations are a no-op.
+    let empty = plan.bind_batch(&[]).unwrap();
+    assert!(empty.is_empty());
+    assert!(sim.run_ensemble(&plan, &empty).unwrap().is_empty());
+}
+
+#[test]
+fn ensemble_population_matches_density_backend_at_tolerance() {
+    // Deterministic (noiseless, measurement-free) populations: every
+    // ensemble column's probability vector must match the exact
+    // density-matrix evolution of the same bound circuit at 1e-12.
+    for trial in 0..6 {
+        let mut rng = StdRng::seed_from_u64(77_000 + trial);
+        let num_params = 2;
+        let (c, _) = random_param_circuit(&mut rng, num_params, false);
+        let sim = StatevectorSimulator::new();
+        let plan = sim.compile(&c).unwrap();
+        let population = random_population(&mut rng, num_params, 4);
+        let batch = plan.bind_batch(&population).unwrap();
+        let ensemble = sim.run_ensemble(&plan, &batch).unwrap();
+        let dsim = DensityMatrixSimulator::new();
+        for (b, params) in population.iter().enumerate() {
+            let col = ensemble[b].as_ref().unwrap();
+            let rho = dsim.run(&c.with_bound(params).unwrap()).unwrap();
+            let sv_probs = col.state.probabilities();
+            for (i, (p, q)) in sv_probs.iter().zip(rho.probabilities().iter()).enumerate() {
+                assert!((p - q).abs() < TOL, "trial {trial}, column {b}, outcome {i}: {p} vs {q}");
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Batched trajectories.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn batched_trajectories_are_bitwise_identical_to_serial_fold() {
+    // 70 trajectories crosses the 64-trajectory chunk boundary; stochastic
+    // circuits force branch-prefix splits at channels, measurements and
+    // resets; readout error consumes extra RNG draws that must stay
+    // stream-aligned; the enabled guard runs per-group checkpoints.
+    for trial in 0..6 {
+        let mut rng = StdRng::seed_from_u64(33_000 + trial);
+        let (c, dims) = random_param_circuit(&mut rng, 2, true);
+        let noise = NoiseModel::depolarizing(0.03, 0.05).with_readout_flip(0.04);
+        let obs = Observable::number(0, dims[0]);
+        let sim = TrajectorySimulator::new(70)
+            .with_seed(900 + trial)
+            .with_noise(noise)
+            .with_guard(GuardConfig::enabled().with_policy(GuardPolicy::RenormalizeAndCount));
+
+        let serial = sim.expectation(&c, &obs).unwrap();
+        let batched = sim.expectation_batched(&c, &obs).unwrap();
+        assert_eq!(batched.mean, serial.mean, "trial {trial}: means must be bitwise identical");
+        assert_eq!(batched.std_error, serial.std_error, "trial {trial}");
+        assert_eq!(batched.n_trajectories, serial.n_trajectories);
+
+        let dist_serial = sim.outcome_distribution(&c).unwrap();
+        let dist_batched = sim.outcome_distribution_batched(&c).unwrap();
+        assert_eq!(dist_batched, dist_serial, "trial {trial}: distributions must be bitwise equal");
+    }
+}
+
+#[test]
+fn batched_trajectory_compiled_and_bound_paths_match_serial() {
+    let mut rng = StdRng::seed_from_u64(4242);
+    let (c, dims) = random_param_circuit(&mut rng, 2, true);
+    let noise = NoiseModel::cavity(0.05, 0.1, 0.0);
+    let obs = Observable::number(0, dims[0]);
+    let sim = TrajectorySimulator::new(40).with_seed(13).with_noise(noise);
+    let mut plan_serial = sim.compile(&c).unwrap();
+    let mut plan_batched = sim.compile(&c).unwrap();
+    for round in 0..2 {
+        let theta: Vec<f64> = (0..2).map(|_| rng.gen::<f64>() * 2.0 - 1.0).collect();
+        let serial = sim.expectation_bound(&mut plan_serial, &theta, &obs).unwrap();
+        let batched = sim.expectation_bound_batched(&mut plan_batched, &theta, &obs).unwrap();
+        assert_eq!(batched.mean, serial.mean, "round {round}");
+        assert_eq!(batched.std_error, serial.std_error, "round {round}");
+        let dist_serial = sim.outcome_distribution_bound(&mut plan_serial, &theta).unwrap();
+        let dist_batched =
+            sim.outcome_distribution_bound_batched(&mut plan_batched, &theta).unwrap();
+        assert_eq!(dist_batched, dist_serial, "round {round}");
+    }
+    // Compiled (no rebind) path too.
+    let serial = sim.expectation_compiled(&plan_serial, &obs).unwrap();
+    let batched = sim.expectation_compiled_batched(&plan_batched, &obs).unwrap();
+    assert_eq!(batched.mean, serial.mean);
+    assert_eq!(batched.std_error, serial.std_error);
+}
+
+#[test]
+fn batched_trajectories_converge_to_density_result() {
+    // The density back-end is exact; the batched trajectory average must
+    // approach it like the serial average does (and bitwise-equals the
+    // serial average, so this is a consistency anchor, not a statistics
+    // test: the tolerance is the Monte-Carlo error bar).
+    let mut c = Circuit::uniform(2, 3);
+    c.push(Gate::fourier(3), &[0]).unwrap();
+    c.push(Gate::csum(3, 3), &[0, 1]).unwrap();
+    let noise = NoiseModel::cavity(0.08, 0.15, 0.0);
+    let obs = Observable::number(1, 3);
+    let exact =
+        DensityMatrixSimulator::new().with_noise(noise.clone()).expectation(&c, &obs).unwrap();
+    let est = TrajectorySimulator::new(600)
+        .with_seed(17)
+        .with_noise(noise)
+        .expectation_batched(&c, &obs)
+        .unwrap();
+    assert!(
+        (est.mean - exact).abs() < 5.0 * est.std_error.max(0.02),
+        "batched mean {} vs exact {} (stderr {})",
+        est.mean,
+        exact,
+        est.std_error
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Cancellation mid-batch.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn cancellation_mid_batch_fails_the_whole_ensemble_pass() {
+    let mut rng = StdRng::seed_from_u64(616);
+    let (c, _) = random_param_circuit(&mut rng, 2, false);
+    let token = CancelToken::new().with_check_budget(2);
+    // Fusion off keeps one plan step per gate, so the check budget runs out
+    // mid-sweep rather than after the (fused) plan has already finished.
+    let sim = StatevectorSimulator::new()
+        .with_fusion(FusionConfig::disabled())
+        .with_guard(GuardConfig::disabled().with_cadence(1))
+        .with_cancel(token);
+    let plan = sim.compile(&c).unwrap();
+    let population = random_population(&mut rng, 2, 4);
+    let batch = plan.bind_batch(&population).unwrap();
+    // The budget trips at the first cadence boundary: the whole pass fails
+    // with the standard Cancelled error rather than per-column failures.
+    let err = sim.run_ensemble(&plan, &batch).unwrap_err();
+    assert!(
+        matches!(err, CircuitError::Core(CoreError::Cancelled { .. })),
+        "expected whole-pass cancellation, got {err:?}"
+    );
+}
+
+#[test]
+fn cancellation_mid_batch_stops_batched_trajectories() {
+    let mut rng = StdRng::seed_from_u64(617);
+    let (c, dims) = random_param_circuit(&mut rng, 2, true);
+    let token = CancelToken::new().with_check_budget(3);
+    let sim = TrajectorySimulator::new(50)
+        .with_noise(NoiseModel::depolarizing(0.02, 0.02))
+        .with_guard(GuardConfig::disabled().with_cadence(1))
+        .with_cancel(token);
+    let err = sim.expectation_batched(&c, &Observable::number(0, dims[0])).unwrap_err();
+    assert!(
+        matches!(err, CircuitError::Core(CoreError::Cancelled { .. })),
+        "expected cancellation, got {err:?}"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Input validation.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn ensemble_rejects_mismatched_seeds_and_short_bindings() {
+    let mut rng = StdRng::seed_from_u64(618);
+    let (c, dims) = random_param_circuit(&mut rng, 2, false);
+    let sim = StatevectorSimulator::new();
+    let plan = sim.compile(&c).unwrap();
+    assert!(plan.bind_batch(&[vec![0.1]]).is_err(), "short member bindings must be rejected");
+    let batch = plan.bind_batch(&[vec![0.1, 0.2], vec![0.3, 0.4]]).unwrap();
+    let initial = qudit_core::QuditState::zero(dims).unwrap();
+    assert!(
+        sim.run_ensemble_seeded(&plan, &batch, &initial, &[1]).is_err(),
+        "seed/batch width mismatch must be rejected"
+    );
+}

@@ -214,6 +214,24 @@ impl RunHealth {
         self.retries = self.retries.saturating_add(other.retries);
         self.fallbacks = self.fallbacks.saturating_add(other.fallbacks);
     }
+
+    /// Scales every counter by `n` (saturating), leaving `max_drift` as is.
+    ///
+    /// Batched trajectory execution runs one checkpoint per panel *group*
+    /// rather than per trajectory; a group of `n` identical members accounts
+    /// for `n` serial trajectories' worth of checks and repairs, so scaling
+    /// the group report by its multiplicity keeps the aggregated
+    /// [`RunHealth`] identical to the serial loop's.
+    #[must_use]
+    pub fn scaled_by(&self, n: usize) -> RunHealth {
+        RunHealth {
+            checks_run: self.checks_run.saturating_mul(n),
+            max_drift: self.max_drift,
+            renormalizations: self.renormalizations.saturating_mul(n),
+            retries: self.retries.saturating_mul(n),
+            fallbacks: self.fallbacks.saturating_mul(n),
+        }
+    }
 }
 
 /// The per-run checkpoint engine: counts steps, runs the invariant checks at
@@ -324,6 +342,58 @@ impl HealthMonitor {
         }
         let inv = 1.0 / norm;
         for a in amplitudes.iter_mut() {
+            *a *= inv;
+        }
+        self.health.renormalizations += 1;
+        Ok(())
+    }
+
+    /// Per-column statevector checkpoint on an interleaved ensemble panel
+    /// (register index `i` of column `col` at `data[i * width + col]`).
+    ///
+    /// The scan, drift accounting, repair policy, and error surface are
+    /// exactly those of [`HealthMonitor::check_statevector`] restricted to
+    /// one column — same ascending-index accumulation order, same `*= inv`
+    /// repair — so guarded ensemble runs report bitwise-identical
+    /// [`RunHealth`] to the serial per-state loop, and a fault in one column
+    /// is detected and attributed without touching its batch-mates.
+    ///
+    /// # Errors
+    /// [`CoreError::NumericalHealth`] on a non-finite or zero column, or on
+    /// drift beyond tolerance under [`GuardPolicy::Fail`].
+    pub fn check_statevector_col(
+        &mut self,
+        step: usize,
+        data: &mut [Complex64],
+        width: usize,
+        col: usize,
+    ) -> Result<()> {
+        self.health.checks_run += 1;
+        let norm_sqr: f64 = data[col..].iter().step_by(width).map(|a| a.norm_sqr()).sum();
+        if !norm_sqr.is_finite() {
+            return Err(CoreError::NumericalHealth {
+                step,
+                metric: HealthMetric::NonFinite,
+                value: norm_sqr,
+            });
+        }
+        let norm = norm_sqr.sqrt();
+        let drift = (norm - 1.0).abs();
+        if drift > self.health.max_drift {
+            self.health.max_drift = drift;
+        }
+        if drift <= self.config.tol {
+            return Ok(());
+        }
+        if matches!(self.config.policy, GuardPolicy::Fail) || norm < 1e-300 {
+            return Err(CoreError::NumericalHealth {
+                step,
+                metric: HealthMetric::Norm,
+                value: norm,
+            });
+        }
+        let inv = 1.0 / norm;
+        for a in data[col..].iter_mut().step_by(width) {
             *a *= inv;
         }
         self.health.renormalizations += 1;

@@ -293,14 +293,15 @@ fn exhausted_retry_budget_fails_the_job() {
 #[test]
 fn repeated_submissions_compile_once() {
     let engine = ServeEngine::start(ServeConfig::default().with_workers(1));
-    let handles: Vec<_> =
-        (0..8).map(|_| engine.submit(JobSpec::statevector(fixed_circuit())).unwrap()).collect();
-    for handle in &handles {
-        expect_completed(handle.wait());
+    // Sequential round trips: the queue is empty at each submission, so no
+    // coalescing happens and every run consults the shared cache.
+    for _ in 0..8 {
+        expect_completed(engine.submit(JobSpec::statevector(fixed_circuit())).unwrap().wait());
     }
     let cache = engine.stats().statevector_cache;
     assert_eq!(cache.misses, 1, "one structural hash must compile exactly once");
     assert_eq!(cache.hits, 7);
+    assert_eq!(engine.stats().batched_jobs, 0, "sequential jobs must stay serial");
     engine.join();
 }
 
@@ -337,6 +338,93 @@ fn disabled_cache_compiles_per_request() {
     }
     let cache = engine.stats().statevector_cache;
     assert_eq!((cache.misses, cache.hits), (3, 0));
+    engine.join();
+}
+
+// ---------------------------------------------------------------------------
+// Batched (coalesced) ensemble execution.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn queued_same_plan_jobs_coalesce_into_one_ensemble_pass() {
+    let thetas = [0.0, 0.4, 0.8, 1.2, 1.6];
+    // Batched engine: pause so all submissions queue up, then resume — the
+    // single worker pops one job and coalesces its same-plan queue-mates.
+    let engine = ServeEngine::start(ServeConfig::default().with_workers(1));
+    engine.pause();
+    let handles: Vec<_> = thetas
+        .iter()
+        .map(|&theta| {
+            engine
+                .submit(JobSpec::statevector(parameterized_circuit()).with_params(vec![theta]))
+                .unwrap()
+        })
+        .collect();
+    // A structurally different job queued in between must not be swept in.
+    let density = engine.submit(JobSpec::density(fixed_circuit())).unwrap();
+    engine.resume();
+    let batched: Vec<Vec<f64>> = handles.iter().map(|h| expect_completed(h.wait())).collect();
+    expect_completed(density.wait());
+    let stats = engine.stats();
+    assert_eq!(stats.completed, 6);
+    assert_eq!(stats.batches, 1, "one ensemble pass for the five same-plan jobs");
+    assert_eq!(stats.batched_jobs, 5);
+    engine.join();
+
+    // Serial reference engine: same submission order (so per-job seeds
+    // match), but sequential round trips keep every job on the serial path.
+    let serial = ServeEngine::start(ServeConfig::default().with_workers(1));
+    for (&theta, batched_values) in thetas.iter().zip(batched.iter()) {
+        let handle = serial
+            .submit(JobSpec::statevector(parameterized_circuit()).with_params(vec![theta]))
+            .unwrap();
+        assert_eq!(&expect_completed(handle.wait()), batched_values, "theta = {theta}");
+    }
+    assert_eq!(serial.stats().batched_jobs, 0);
+    serial.join();
+}
+
+#[test]
+fn cancelled_member_drops_out_of_the_batch_without_affecting_mates() {
+    let engine = ServeEngine::start(ServeConfig::default().with_workers(1));
+    engine.pause();
+    let handles: Vec<_> =
+        (0..3).map(|_| engine.submit(JobSpec::statevector(fixed_circuit())).unwrap()).collect();
+    handles[1].cancel();
+    engine.resume();
+    let first = expect_completed(handles[0].wait());
+    assert_eq!(handles[1].wait(), JobOutcome::Cancelled(CancelReason::Requested));
+    let last = expect_completed(handles[2].wait());
+    assert_eq!(first, last, "identical specs must produce identical payloads");
+    let stats = engine.stats();
+    assert_eq!((stats.completed, stats.cancelled), (2, 1));
+    assert_eq!(stats.batched_jobs, 2, "the two live members still run as one pass");
+    engine.join();
+}
+
+#[test]
+fn transient_batch_failures_fall_back_to_the_serial_retry_ladder() {
+    // A negative guard tolerance fails every column of the ensemble pass;
+    // each member must fall back to the serial path, whose retry ladder
+    // escalates the guard policy and completes the job.
+    let engine = ServeEngine::start(
+        ServeConfig::default()
+            .with_workers(1)
+            .with_max_retries(2)
+            .with_retry_backoff(Duration::ZERO)
+            .with_guard(GuardConfig::enabled().with_tol(-1.0)),
+    );
+    engine.pause();
+    let handles: Vec<_> =
+        (0..3).map(|_| engine.submit(JobSpec::statevector(fixed_circuit())).unwrap()).collect();
+    engine.resume();
+    for handle in &handles {
+        expect_completed(handle.wait());
+    }
+    let stats = engine.stats();
+    assert_eq!((stats.completed, stats.failed), (3, 0));
+    assert_eq!(stats.batched_jobs, 0, "failed columns must not count as batched");
+    assert_eq!(stats.retries, 3, "one serial escalation per member");
     engine.join();
 }
 

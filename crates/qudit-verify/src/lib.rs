@@ -25,6 +25,7 @@ pub mod verify;
 
 pub use lint::{lint_circuit, Diagnostic, LintCode, Severity};
 pub use verify::{
-    expected_guard_checks, verify_density, verify_density_bound, verify_run_health,
-    verify_statevector, verify_statevector_bound, Check, VerifyConfig, VerifyError, VerifyReport,
+    expected_guard_checks, verify_density, verify_density_bound, verify_ensemble_health,
+    verify_run_health, verify_statevector, verify_statevector_bound, Check, VerifyConfig,
+    VerifyError, VerifyReport,
 };

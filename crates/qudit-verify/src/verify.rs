@@ -2045,3 +2045,27 @@ pub fn verify_run_health(
     }
     Ok(())
 }
+
+/// Checks every column of a batched ensemble pass against the checkpoint
+/// formula. The ensemble executor promises per-column `RunHealth` with the
+/// same semantics as a serial run — each member is checkpointed at the same
+/// cadence and carries its own counters — so each column must satisfy
+/// [`verify_run_health`] independently; a violation names the offending
+/// column.
+///
+/// # Errors
+/// Returns a [`Check::Guard`] error when any column's counts disagree.
+pub fn verify_ensemble_health(
+    healths: &[RunHealth],
+    num_steps: usize,
+    guard: &GuardConfig,
+) -> Result<(), VerifyError> {
+    for (column, health) in healths.iter().enumerate() {
+        verify_run_health(health, num_steps, guard).map_err(|e| VerifyError {
+            check: e.check,
+            step: e.step,
+            message: format!("ensemble column {column}: {}", e.message),
+        })?;
+    }
+    Ok(())
+}

@@ -17,8 +17,8 @@ use qudit_core::matrix::CMatrix;
 use qudit_core::random::haar_unitary;
 use qudit_core::Complex64;
 use qudit_verify::{
-    expected_guard_checks, verify_density, verify_density_bound, verify_run_health,
-    verify_statevector, verify_statevector_bound, VerifyConfig,
+    expected_guard_checks, verify_density, verify_density_bound, verify_ensemble_health,
+    verify_run_health, verify_statevector, verify_statevector_bound, VerifyConfig,
 };
 
 fn random_dims(rng: &mut StdRng) -> Vec<usize> {
@@ -311,4 +311,32 @@ fn run_health_matches_the_checkpoint_formula() {
     }
     // Disabled guards check nothing, regardless of step count.
     assert_eq!(expected_guard_checks(40, &GuardConfig::disabled()), 0);
+}
+
+#[test]
+fn ensemble_columns_each_satisfy_the_checkpoint_formula() {
+    // A batched ensemble pass promises serial `RunHealth` semantics per
+    // column: every member is checkpointed at the guard cadence as if it ran
+    // alone.
+    for trial in 0..4 {
+        let mut rng = StdRng::seed_from_u64(39_000 + trial);
+        let dims = random_dims(&mut rng);
+        let mut c = Circuit::new(dims.clone());
+        for _ in 0..rng.gen_range(6..=18) {
+            push_random_gate(&mut c, &dims, &mut rng);
+        }
+        let cadence = rng.gen_range(1..=4);
+        let guard = GuardConfig { cadence, ..GuardConfig::enabled() };
+        let sim = StatevectorSimulator::new().with_guard(guard);
+        let plan = sim.compile(&c).unwrap();
+        let batch = plan.bind_batch(&vec![Vec::new(); 5]).unwrap();
+        let healths: Vec<_> = sim
+            .run_ensemble(&plan, &batch)
+            .unwrap()
+            .into_iter()
+            .map(|column| column.unwrap().health)
+            .collect();
+        verify_ensemble_health(&healths, plan.num_steps(), &guard)
+            .unwrap_or_else(|e| panic!("trial {trial}: {e}"));
+    }
 }

@@ -15,8 +15,8 @@ use qudit_circuit::{Circuit, Gate, Param};
 use qudit_core::guard::RunHealth;
 use qudit_core::matrix::CMatrix;
 use qudit_verify::{
-    verify_density, verify_run_health, verify_statevector, verify_statevector_bound, Check,
-    VerifyConfig,
+    verify_density, verify_ensemble_health, verify_run_health, verify_statevector,
+    verify_statevector_bound, Check, VerifyConfig,
 };
 
 /// A plain three-gate circuit whose plan (fusion off) maps one step to one
@@ -175,4 +175,16 @@ fn wrong_guard_checkpoint_count_is_flagged() {
     health.checks_run += 1;
     let err = verify_run_health(&health, 10, &guard).unwrap_err();
     assert_eq!(err.check, Check::Guard, "{err}");
+}
+
+#[test]
+fn wrong_ensemble_column_health_is_flagged_with_attribution() {
+    let guard = GuardConfig { cadence: 3, ..GuardConfig::enabled() };
+    let good = RunHealth { checks_run: 12 / 3 + 1, ..RunHealth::default() };
+    let bad = RunHealth { checks_run: good.checks_run + 2, ..good };
+    verify_ensemble_health(&[good, good, good], 12, &guard).unwrap();
+    verify_ensemble_health(&[], 12, &guard).unwrap();
+    let err = verify_ensemble_health(&[good, bad, good], 12, &guard).unwrap_err();
+    assert_eq!(err.check, Check::Guard, "{err}");
+    assert!(err.message.contains("column 1"), "violation must name the column: {err}");
 }
